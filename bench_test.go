@@ -1,0 +1,278 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table/figure of the paper's evaluation (§VI), plus ablation benchmarks
+// for the design choices called out in DESIGN.md. Each benchmark runs the
+// same code path as cmd/fallbench at a reduced scale so `go test -bench=.`
+// finishes in minutes; run cmd/fallbench -scale paper for full-dimension
+// numbers.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/exp"
+	"repro/internal/fall"
+	"repro/internal/genbench"
+	"repro/internal/keyconfirm"
+	"repro/internal/lock"
+	"repro/internal/oracle"
+	"repro/internal/sat"
+	"repro/internal/satattack"
+	"repro/internal/testcirc"
+)
+
+func benchConfig(nSpecs int) exp.Config {
+	return exp.Config{
+		Specs:      genbench.Scaled(genbench.TableI, 16, 12)[:nSpecs],
+		Seed:       2019,
+		Timeout:    2 * time.Second,
+		SATIterCap: 30,
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (benchmark + locking statistics).
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchConfig(4)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFig5Panel(b *testing.B, level exp.HLevel) {
+	cfg := benchConfig(3)
+	cases, err := exp.BuildSuite(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs := exp.Fig5Panel(cases, level, cfg)
+		solved := 0
+		for _, o := range outs {
+			if o.Solved && o.Attack != "SAT-Attack" {
+				solved++
+			}
+		}
+		if solved == 0 {
+			b.Fatal("no FALL attack solved any instance")
+		}
+	}
+}
+
+// BenchmarkFig5HD0 regenerates Fig. 5 panel 1 (SFLL-HD0: SAT attack vs
+// AnalyzeUnateness).
+func BenchmarkFig5HD0(b *testing.B) { benchFig5Panel(b, exp.HD0) }
+
+// BenchmarkFig5H8 regenerates Fig. 5 panel 2 (h=m/8: SAT attack vs
+// SlidingWindow vs Distance2H).
+func BenchmarkFig5H8(b *testing.B) { benchFig5Panel(b, exp.HM8) }
+
+// BenchmarkFig5H4 regenerates Fig. 5 panel 3 (h=m/4).
+func BenchmarkFig5H4(b *testing.B) { benchFig5Panel(b, exp.HM4) }
+
+// BenchmarkFig5H3 regenerates Fig. 5 panel 4 (h=m/3, SlidingWindow only).
+func BenchmarkFig5H3(b *testing.B) { benchFig5Panel(b, exp.HM3) }
+
+// BenchmarkFig6 regenerates Fig. 6 (key confirmation vs SAT attack mean
+// runtimes).
+func BenchmarkFig6(b *testing.B) {
+	cfg := benchConfig(2)
+	var cases []*exp.Case
+	for i, spec := range cfg.Specs {
+		cs, err := exp.BuildCase(spec, exp.HD0, cfg.Seed+int64(i)*1009)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases = append(cases, cs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig6(cases, cfg)
+		for _, r := range rows {
+			if r.KCConfirmed != r.KCRuns {
+				b.Fatalf("%s: confirmation failed", r.Circuit)
+			}
+		}
+	}
+}
+
+// BenchmarkSummary regenerates the §VI-B summary statistics (defeated /
+// unique-key counts over the suite).
+func BenchmarkSummary(b *testing.B) {
+	cfg := benchConfig(3)
+	cases, err := exp.BuildSuite(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := exp.Summarize(cases, cfg)
+		if s.Defeated == 0 {
+			b.Fatal("nothing defeated")
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md experiment E9) ---
+
+func ablationCase(b *testing.B, h int) *lock.Result {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	orig := testcirc.Random(rng, 16, 200)
+	lr, err := lock.SFLLHD(orig, lock.Options{KeySize: 16, H: h, Seed: 5, Optimize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lr
+}
+
+func benchEncoding(b *testing.B, enc cnf.CardEncoding) {
+	lr := ablationCase(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fall.Attack(lr.Locked, fall.Options{H: 4, Analysis: fall.SlidingWindow, Enc: enc})
+		if err != nil || len(res.Keys) == 0 {
+			b.Fatalf("attack failed: %v (%d keys)", err, len(res.Keys))
+		}
+	}
+}
+
+// BenchmarkAblationEncodingAdderTree measures the SlidingWindow attack
+// with the adder-tree Hamming-distance encoding.
+func BenchmarkAblationEncodingAdderTree(b *testing.B) { benchEncoding(b, cnf.AdderTree) }
+
+// BenchmarkAblationEncodingSeqCounter measures the same attack with the
+// Sinz sequential-counter encoding.
+func BenchmarkAblationEncodingSeqCounter(b *testing.B) { benchEncoding(b, cnf.SeqCounter) }
+
+func benchPrefilter(b *testing.B, disable bool) {
+	lr := ablationCase(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fall.Attack(lr.Locked, fall.Options{H: 0, DisableSimPrefilter: disable})
+		if err != nil || len(res.Keys) == 0 {
+			b.Fatalf("attack failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkAblationUnatenessWithPrefilter measures AnalyzeUnateness with
+// the random-simulation binate pre-filter enabled (default).
+func BenchmarkAblationUnatenessWithPrefilter(b *testing.B) { benchPrefilter(b, false) }
+
+// BenchmarkAblationUnatenessNoPrefilter measures pure-SAT unateness
+// checking.
+func BenchmarkAblationUnatenessNoPrefilter(b *testing.B) { benchPrefilter(b, true) }
+
+func benchKeyConfirm(b *testing.B, disableDDIP bool, keyBits int) {
+	rng := rand.New(rand.NewSource(23))
+	orig := testcirc.Random(rng, keyBits+2, 150)
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: keyBits, Seed: 9, Optimize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := map[string]bool{}
+	for k, v := range lr.Key {
+		comp[k] = !v
+	}
+	cands := []map[string]bool{comp, lr.Key}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := keyconfirm.Confirm(lr.Locked, cands, oracle.NewSim(orig), keyconfirm.Options{
+			DisableDoubleDIP: disableDDIP,
+			Deadline:         time.Now().Add(30 * time.Second),
+		})
+		if err != nil || !res.Confirmed {
+			b.Fatalf("confirmation failed: %v %+v", err, res)
+		}
+	}
+}
+
+// BenchmarkAblationKeyConfirmDoubleDIP measures key confirmation with the
+// double-DIP acceleration (12-bit TTLock key).
+func BenchmarkAblationKeyConfirmDoubleDIP(b *testing.B) { benchKeyConfirm(b, false, 12) }
+
+// BenchmarkAblationKeyConfirmPureAlg4 measures the paper's Algorithm 4
+// verbatim on a deliberately small key (8 bits) where single-DIP
+// convergence is feasible.
+func BenchmarkAblationKeyConfirmPureAlg4(b *testing.B) { benchKeyConfirm(b, true, 8) }
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkSATSolverPigeonhole exercises the CDCL core on PHP(8,7), a
+// classic resolution-hard instance.
+func BenchmarkSATSolverPigeonhole(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sat.New()
+		const p, holes = 8, 7
+		vars := make([][]int, p)
+		for pi := range vars {
+			vars[pi] = make([]int, holes)
+			for hi := range vars[pi] {
+				vars[pi][hi] = s.NewVar()
+			}
+		}
+		for pi := 0; pi < p; pi++ {
+			lits := make([]sat.Lit, holes)
+			for hi := 0; hi < holes; hi++ {
+				lits[hi] = sat.PosLit(vars[pi][hi])
+			}
+			s.AddClause(lits...)
+		}
+		for hi := 0; hi < holes; hi++ {
+			for a := 0; a < p; a++ {
+				for bb := a + 1; bb < p; bb++ {
+					s.AddClause(sat.NegLit(vars[a][hi]), sat.NegLit(vars[bb][hi]))
+				}
+			}
+		}
+		if s.Solve() != sat.Unsat {
+			b.Fatal("PHP(8,7) must be UNSAT")
+		}
+	}
+}
+
+// BenchmarkStrash measures AIG structural hashing on a Table I-scale
+// netlist (the paper's ABC optimization step).
+func BenchmarkStrash(b *testing.B) {
+	spec, _ := genbench.ByName("des")
+	orig, err := genbench.Generate(spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr, err := lock.SFLLHD(orig, lock.Options{KeySize: 64, H: 16, Seed: 2, Optimize: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lr.Locked.NumGates() == 0 {
+			b.Fatal("empty locked circuit")
+		}
+	}
+}
+
+// BenchmarkSATAttackIterations measures per-iteration cost of the SAT
+// attack loop (capped) on a mid-size TTLock instance.
+func BenchmarkSATAttackIterations(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	orig := testcirc.Random(rng, 18, 200)
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: 16, Seed: 3, Optimize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := satattack.Run(lr.Locked, oracle.NewSim(orig), time.Time{}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Iterations == 0 {
+			b.Fatal("no iterations performed")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command fallbench regenerates the paper's evaluation artifacts:
+//
+//	fallbench -table1                 # Table I: benchmark statistics
+//	fallbench -fig5 hd0|h8|h4|h3      # Fig. 5 panels: cactus series
+//	fallbench -fig6                   # Fig. 6: key confirmation vs SAT attack
+//	fallbench -summary                # §VI-B: defeated / unique-key stats
+//
+// Scale control:
+//
+//	-scale paper   full Table I dimensions (keys up to 64)
+//	-scale small   1/8 gate counts, keys capped at 16 (default)
+//	-scale tiny    1/16 gate counts, keys capped at 12, 6 circuits
+//	-timeout 5s    per-attack budget (paper: 1000 s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/exp"
+	"repro/internal/fall"
+	"repro/internal/genbench"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "regenerate Table I")
+		fig5    = flag.String("fig5", "", "regenerate a Fig. 5 panel: hd0 | h8 | h4 | h3")
+		fig6    = flag.Bool("fig6", false, "regenerate Fig. 6")
+		summary = flag.Bool("summary", false, "regenerate the §VI-B summary statistics")
+		scale   = flag.String("scale", "small", "experiment scale: paper | medium | small | tiny")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-attack time budget")
+		iterCap = flag.Int("satcap", 500, "SAT attack iteration cap (0 = none)")
+		seed    = flag.Int64("seed", 2019, "base seed")
+		enc     = flag.String("enc", "adder", "cardinality encoding: adder | seq")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Seed: *seed, Timeout: *timeout, SATIterCap: *iterCap}
+	switch *scale {
+	case "paper":
+		cfg.Specs = genbench.TableI
+	case "medium":
+		cfg.Specs = genbench.Scaled(genbench.TableI, 4, 24)
+	case "small":
+		cfg.Specs = genbench.Scaled(genbench.TableI, 8, 16)
+	case "tiny":
+		cfg.Specs = genbench.Scaled(genbench.TableI, 16, 12)[:6]
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+	switch *enc {
+	case "adder":
+		cfg.Enc = cnf.AdderTree
+	case "seq":
+		cfg.Enc = cnf.SeqCounter
+	default:
+		fatalf("unknown encoding %q", *enc)
+	}
+
+	ran := false
+	if *table1 {
+		ran = true
+		rows, err := exp.Table1(cfg)
+		if err != nil {
+			fatalf("table1: %v", err)
+		}
+		fmt.Println("=== Table I (regenerated) ===")
+		fmt.Print(exp.FormatTable1(rows))
+	}
+	if *fig5 != "" {
+		ran = true
+		var level exp.HLevel
+		var attacks []string
+		switch *fig5 {
+		case "hd0":
+			level = exp.HD0
+			attacks = []string{"SAT-Attack", fall.Unateness.String()}
+		case "h8":
+			level = exp.HM8
+			attacks = []string{"SAT-Attack", fall.SlidingWindow.String(), fall.Distance2H.String()}
+		case "h4":
+			level = exp.HM4
+			attacks = []string{"SAT-Attack", fall.SlidingWindow.String(), fall.Distance2H.String()}
+		case "h3":
+			level = exp.HM3
+			attacks = []string{"SAT-Attack", fall.SlidingWindow.String()}
+		default:
+			fatalf("unknown fig5 panel %q", *fig5)
+		}
+		cases, err := exp.BuildSuite(cfg)
+		if err != nil {
+			fatalf("suite: %v", err)
+		}
+		fmt.Printf("=== Fig. 5 panel %s (%s) ===\n", *fig5, level.Label())
+		outs := exp.Fig5Panel(cases, level, cfg)
+		fmt.Print(exp.FormatCactus(outs, attacks))
+	}
+	if *fig6 {
+		ran = true
+		cases, err := exp.BuildSuite(cfg)
+		if err != nil {
+			fatalf("suite: %v", err)
+		}
+		fmt.Println("=== Fig. 6: key confirmation vs SAT attack ===")
+		fmt.Print(exp.FormatFig6(exp.Fig6(cases, cfg)))
+	}
+	if *summary {
+		ran = true
+		cases, err := exp.BuildSuite(cfg)
+		if err != nil {
+			fatalf("suite: %v", err)
+		}
+		fmt.Println("=== §VI-B summary ===")
+		fmt.Print(exp.FormatSummary(exp.Summarize(cases, cfg)))
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fallbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command keyconfirm runs the key confirmation algorithm (paper §V) on a
+// locked BENCH netlist: given candidate key files (keyinputN=0/1 lines,
+// as written by lockgen or fallattack output redirection), it confirms
+// which candidate (if any) is consistent with the oracle.
+//
+// Usage:
+//
+//	keyconfirm -locked locked.bench -oracle original.bench key1.txt key2.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/keyconfirm"
+	"repro/internal/oracle"
+)
+
+func main() {
+	var (
+		lockedPath = flag.String("locked", "", "locked circuit in BENCH format")
+		oraclePath = flag.String("oracle", "", "original circuit in BENCH format (simulated activated IC)")
+		timeout    = flag.Duration("timeout", 1000*time.Second, "time budget (0 = none)")
+		pureAlg4   = flag.Bool("pure", false, "disable the double-DIP acceleration (paper Algorithm 4 verbatim)")
+	)
+	flag.Parse()
+	if *lockedPath == "" || *oraclePath == "" {
+		fatalf("need -locked FILE and -oracle FILE")
+	}
+	locked := parse(*lockedPath)
+	orig := parse(*oraclePath)
+
+	var cands []map[string]bool
+	for _, path := range flag.Args() {
+		k, err := readKeyFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cands = append(cands, k)
+	}
+	if len(cands) == 0 {
+		fmt.Fprintln(os.Stderr, "keyconfirm: no candidate key files; running with phi=true (full SAT attack mode)")
+	}
+
+	opts := keyconfirm.Options{DisableDoubleDIP: *pureAlg4}
+	if *timeout > 0 {
+		opts.Deadline = time.Now().Add(*timeout)
+	}
+	res, err := keyconfirm.Confirm(locked, cands, oracle.NewSim(orig), opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("iterations: %d, oracle queries: %d, elapsed: %v\n",
+		res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
+	if res.TimedOut {
+		fmt.Println("timed out before a verdict")
+		os.Exit(2)
+	}
+	if !res.Confirmed {
+		fmt.Println("⊥ — no candidate key is consistent with the oracle")
+		os.Exit(3)
+	}
+	fmt.Println("confirmed key:")
+	names := make([]string, 0, len(res.Key))
+	for n := range res.Key {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := 0
+		if res.Key[n] {
+			v = 1
+		}
+		fmt.Printf("  %s=%d\n", n, v)
+	}
+}
+
+func readKeyFile(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	key := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%s:%d: expected name=0/1, got %q", path, line, text)
+		}
+		name := strings.TrimSpace(parts[0])
+		switch strings.TrimSpace(parts[1]) {
+		case "0":
+			key[name] = false
+		case "1":
+			key[name] = true
+		default:
+			return nil, fmt.Errorf("%s:%d: bad key bit %q", path, line, parts[1])
+		}
+	}
+	return key, sc.Err()
+}
+
+func parse(path string) *circuit.Circuit {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	c, err := bench.Parse(f, path)
+	if err != nil {
+		fatalf("parse %s: %v", path, err)
+	}
+	return c
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "keyconfirm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command satattack runs the oracle-guided SAT attack baseline on a
+// locked BENCH netlist, with the original (unlocked) netlist standing in
+// for the activated-chip oracle.
+//
+// Usage:
+//
+//	satattack -locked locked.bench -oracle original.bench \
+//	          [-timeout 1000s] [-maxiter 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/oracle"
+	"repro/internal/satattack"
+)
+
+func main() {
+	var (
+		lockedPath = flag.String("locked", "", "locked circuit in BENCH format")
+		oraclePath = flag.String("oracle", "", "original circuit in BENCH format (simulated activated IC)")
+		timeout    = flag.Duration("timeout", 1000*time.Second, "attack time budget (0 = none)")
+		maxIter    = flag.Int("maxiter", 0, "max distinguishing inputs (0 = unlimited)")
+	)
+	flag.Parse()
+	if *lockedPath == "" || *oraclePath == "" {
+		fatalf("need -locked FILE and -oracle FILE")
+	}
+	locked := parse(*lockedPath)
+	orig := parse(*oraclePath)
+
+	var deadline time.Time
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
+	orc := oracle.NewSim(orig)
+	res, err := satattack.Run(locked, orc, deadline, *maxIter)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("iterations: %d, oracle queries: %d, elapsed: %v\n",
+		res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
+	if !res.Solved {
+		fmt.Println("attack did not converge (timed out)")
+		os.Exit(2)
+	}
+	fmt.Println("recovered key:")
+	names := make([]string, 0, len(res.Key))
+	for n := range res.Key {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := 0
+		if res.Key[n] {
+			v = 1
+		}
+		fmt.Printf("  %s=%d\n", n, v)
+	}
+	if err := oracle.CheckKey(locked, oracle.NewSim(orig), res.Key, 1024, 7); err != nil {
+		fmt.Printf("warning: key failed random validation: %v\n", err)
+		os.Exit(3)
+	}
+	fmt.Println("key validated against the oracle on 1024 random patterns")
+}
+
+func parse(path string) *circuit.Circuit {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	c, err := bench.Parse(f, path)
+	if err != nil {
+		fatalf("parse %s: %v", path, err)
+	}
+	return c
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "satattack: "+format+"\n", args...)
+	os.Exit(1)
+}

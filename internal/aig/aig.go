@@ -1,0 +1,283 @@
+// Package aig implements and-inverter graphs with structural hashing,
+// standing in for ABC's `strash` command which the paper uses to optimize
+// locked netlists "to minimize any structural bias introduced by our
+// locking implementation" (§VI-A, Fig. 3).
+//
+// An AIG node is a two-input AND; inverters are complement bits on edges.
+// Structural hashing merges identical AND nodes, and constant/identity
+// rules fold trivial logic, so functionally redundant gates introduced by
+// a locker disappear exactly as they would after ABC strash.
+package aig
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Lit is an AIG edge: node index shifted left once, low bit = complemented.
+type Lit int32
+
+// Predefined literals of the constant node (node 0).
+const (
+	True  Lit = 0 // constant-1 function
+	False Lit = 1
+)
+
+// MkLit builds an edge to node with the given complement flag.
+func MkLit(node int, compl bool) Lit {
+	l := Lit(node << 1)
+	if compl {
+		l |= 1
+	}
+	return l
+}
+
+// Node returns the node index of the edge.
+func (l Lit) Node() int { return int(l >> 1) }
+
+// Compl reports whether the edge is complemented.
+func (l Lit) Compl() bool { return l&1 == 1 }
+
+// Not returns the complemented edge.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+type node struct {
+	fan0, fan1 Lit // meaningful only for AND nodes (index >= 1+numInputs)
+}
+
+// AIG is an and-inverter graph. Node 0 is the constant-true node; nodes
+// 1..NumInputs() are inputs; the rest are AND nodes in topological order.
+type AIG struct {
+	nodes    []node
+	inNames  []string
+	inIsKey  []bool
+	outputs  []Lit
+	outNames []string
+	strash   map[[2]Lit]int
+}
+
+// New returns an empty AIG containing only the constant node.
+func New() *AIG {
+	return &AIG{
+		nodes:  make([]node, 1),
+		strash: make(map[[2]Lit]int),
+	}
+}
+
+// NumInputs returns the number of input nodes.
+func (g *AIG) NumInputs() int { return len(g.inNames) }
+
+// NumAnds returns the number of AND nodes.
+func (g *AIG) NumAnds() int { return len(g.nodes) - 1 - len(g.inNames) }
+
+// AddInput appends an input and returns its (positive) edge. Inputs must
+// be added before any AND node.
+func (g *AIG) AddInput(name string, isKey bool) Lit {
+	if len(g.nodes) != 1+len(g.inNames) {
+		panic("aig: AddInput after AND nodes")
+	}
+	g.nodes = append(g.nodes, node{})
+	g.inNames = append(g.inNames, name)
+	g.inIsKey = append(g.inIsKey, isKey)
+	return MkLit(len(g.nodes)-1, false)
+}
+
+// And returns an edge computing a AND b, applying constant folding,
+// idempotence/complement rules and structural hashing.
+func (g *AIG) And(a, b Lit) Lit {
+	// Trivial rules.
+	switch {
+	case a == False || b == False:
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	case a == b:
+		return a
+	case a == b.Not():
+		return False
+	}
+	// Canonical operand order.
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Lit{a, b}
+	if id, ok := g.strash[key]; ok {
+		return MkLit(id, false)
+	}
+	g.nodes = append(g.nodes, node{fan0: a, fan1: b})
+	id := len(g.nodes) - 1
+	g.strash[key] = id
+	return MkLit(id, false)
+}
+
+// Or returns a OR b.
+func (g *AIG) Or(a, b Lit) Lit { return g.And(a.Not(), b.Not()).Not() }
+
+// Xor returns a XOR b.
+func (g *AIG) Xor(a, b Lit) Lit {
+	return g.And(g.And(a, b.Not()).Not(), g.And(a.Not(), b).Not()).Not()
+}
+
+// Mux returns "if s then t else f".
+func (g *AIG) Mux(s, t, f Lit) Lit {
+	return g.And(g.And(s, t).Not(), g.And(s.Not(), f).Not()).Not()
+}
+
+// AddOutput registers an output edge under the given name.
+func (g *AIG) AddOutput(name string, l Lit) {
+	g.outputs = append(g.outputs, l)
+	g.outNames = append(g.outNames, name)
+}
+
+// FromCircuit converts a gate-level circuit into a structurally hashed
+// AIG. It returns the AIG and the edge corresponding to every circuit
+// node.
+func FromCircuit(c *circuit.Circuit) (*AIG, []Lit) {
+	g := New()
+	lits := make([]Lit, c.Len())
+	// Inputs first (AIG requires it).
+	for id, n := range c.Nodes {
+		if n.Type == circuit.Input {
+			lits[id] = g.AddInput(n.Name, n.IsKey)
+		}
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		switch n.Type {
+		case circuit.Input:
+			// done above
+		case circuit.Const0:
+			lits[id] = False
+		case circuit.Const1:
+			lits[id] = True
+		case circuit.Buf:
+			lits[id] = lits[n.Fanins[0]]
+		case circuit.Not:
+			lits[id] = lits[n.Fanins[0]].Not()
+		case circuit.And, circuit.Nand:
+			v := True
+			for _, f := range n.Fanins {
+				v = g.And(v, lits[f])
+			}
+			if n.Type == circuit.Nand {
+				v = v.Not()
+			}
+			lits[id] = v
+		case circuit.Or, circuit.Nor:
+			v := False
+			for _, f := range n.Fanins {
+				v = g.Or(v, lits[f])
+			}
+			if n.Type == circuit.Nor {
+				v = v.Not()
+			}
+			lits[id] = v
+		case circuit.Xor, circuit.Xnor:
+			v := False
+			for _, f := range n.Fanins {
+				v = g.Xor(v, lits[f])
+			}
+			if n.Type == circuit.Xnor {
+				v = v.Not()
+			}
+			lits[id] = v
+		default:
+			panic(fmt.Sprintf("aig: unknown gate type %v", n.Type))
+		}
+	}
+	for _, o := range c.Outputs {
+		g.AddOutput(c.Nodes[o].Name, lits[o])
+	}
+	return g, lits
+}
+
+// ToCircuit converts the AIG back to a gate-level netlist of AND and NOT
+// gates (the form shown in the paper's Fig. 3), keeping only logic
+// reachable from the outputs. Input names and key flags are preserved;
+// outputs keep their registered names via BUF/NOT shims when necessary.
+func (g *AIG) ToCircuit(name string) *circuit.Circuit {
+	c := circuit.New(name)
+	// Mark reachable nodes.
+	reach := make([]bool, len(g.nodes))
+	var mark func(l Lit)
+	mark = func(l Lit) {
+		n := l.Node()
+		if reach[n] {
+			return
+		}
+		reach[n] = true
+		if n > len(g.inNames) { // AND node
+			mark(g.nodes[n].fan0)
+			mark(g.nodes[n].fan1)
+		}
+	}
+	for _, o := range g.outputs {
+		mark(o)
+	}
+	nodeID := make([]int, len(g.nodes))   // positive-polarity circuit node
+	invID := make([]int, len(g.nodes))    // NOT node, allocated on demand
+	haveInv := make([]bool, len(g.nodes)) // whether invID is valid
+	for i := range nodeID {
+		nodeID[i] = -1
+	}
+	// Constant node, only if used.
+	if reach[0] {
+		nodeID[0] = c.AddConst("aig_const1", true)
+	}
+	// Inputs are always emitted so the interface is stable.
+	for i, nm := range g.inNames {
+		var id int
+		if g.inIsKey[i] {
+			id = c.AddKeyInput(nm)
+		} else {
+			id = c.AddInput(nm)
+		}
+		nodeID[1+i] = id
+	}
+	edge := func(l Lit) int {
+		n := l.Node()
+		if !l.Compl() {
+			return nodeID[n]
+		}
+		if !haveInv[n] {
+			invID[n] = c.MustGate(fmt.Sprintf("n%d_inv", n), circuit.Not, nodeID[n])
+			haveInv[n] = true
+		}
+		return invID[n]
+	}
+	for i := 1 + len(g.inNames); i < len(g.nodes); i++ {
+		if !reach[i] {
+			continue
+		}
+		f0 := edge(g.nodes[i].fan0)
+		f1 := edge(g.nodes[i].fan1)
+		nodeID[i] = c.MustGate(fmt.Sprintf("n%d", i), circuit.And, f0, f1)
+	}
+	usedName := make(map[string]bool)
+	for i, o := range g.outputs {
+		id := edge(o)
+		nm := g.outNames[i]
+		// If the natural node already carries the right name and is not a
+		// duplicate output name, use it directly; otherwise insert a BUF.
+		if c.Nodes[id].Name != nm {
+			if _, taken := c.NodeByName(nm); taken || usedName[nm] {
+				nm = nm + "_out"
+			}
+			id = c.MustGate(nm, circuit.Buf, id)
+		}
+		usedName[nm] = true
+		c.MarkOutput(id)
+	}
+	return c
+}
+
+// Strash optimizes a circuit by round-tripping it through a structurally
+// hashed AIG, the equivalent of "abc strash". The result contains only
+// 2-input AND gates, NOT gates and BUFs.
+func Strash(c *circuit.Circuit) *circuit.Circuit {
+	g, _ := FromCircuit(c)
+	return g.ToCircuit(c.Name)
+}

@@ -1,0 +1,343 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+func TestAndRules(t *testing.T) {
+	g := New()
+	a := g.AddInput("a", false)
+	b := g.AddInput("b", false)
+	if got := g.And(a, False); got != False {
+		t.Error("a AND 0 != 0")
+	}
+	if got := g.And(True, b); got != b {
+		t.Error("1 AND b != b")
+	}
+	if got := g.And(a, a); got != a {
+		t.Error("a AND a != a")
+	}
+	if got := g.And(a, a.Not()); got != False {
+		t.Error("a AND ~a != 0")
+	}
+	ab1 := g.And(a, b)
+	ab2 := g.And(b, a)
+	if ab1 != ab2 {
+		t.Error("structural hashing missed commuted operands")
+	}
+	if g.NumAnds() != 1 {
+		t.Errorf("NumAnds = %d, want 1", g.NumAnds())
+	}
+}
+
+func TestXorMuxSemantics(t *testing.T) {
+	// Verify Xor and Mux through ToCircuit simulation.
+	g := New()
+	a := g.AddInput("a", false)
+	b := g.AddInput("b", false)
+	s := g.AddInput("s", false)
+	g.AddOutput("x", g.Xor(a, b))
+	g.AddOutput("m", g.Mux(s, a, b))
+	c := g.ToCircuit("t")
+	ia, _ := c.NodeByName("a")
+	ib, _ := c.NodeByName("b")
+	is, _ := c.NodeByName("s")
+	for p := 0; p < 8; p++ {
+		va, vb, vs := p&1 == 1, p&2 == 2, p&4 == 4
+		outs := c.EvalOutputs(map[int]bool{ia: va, ib: vb, is: vs})
+		if outs[0] != (va != vb) {
+			t.Errorf("xor(%v,%v) = %v", va, vb, outs[0])
+		}
+		wantM := vb
+		if vs {
+			wantM = va
+		}
+		if outs[1] != wantM {
+			t.Errorf("mux(%v,%v,%v) = %v", vs, va, vb, outs[1])
+		}
+	}
+}
+
+func randomCircuit(rng *rand.Rand, nIn, nGates int) *circuit.Circuit {
+	c := circuit.New("rand")
+	ids := make([]int, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		ids = append(ids, c.AddInput(""))
+	}
+	types := []circuit.GateType{
+		circuit.And, circuit.Nand, circuit.Or, circuit.Nor,
+		circuit.Xor, circuit.Xnor, circuit.Not, circuit.Buf,
+	}
+	for i := 0; i < nGates; i++ {
+		gt := types[rng.Intn(len(types))]
+		n := 1
+		if gt != circuit.Not && gt != circuit.Buf {
+			n = 2 + rng.Intn(2)
+		}
+		fanins := make([]int, n)
+		for j := range fanins {
+			fanins[j] = ids[rng.Intn(len(ids))]
+		}
+		ids = append(ids, c.MustGate("", gt, fanins...))
+	}
+	c.MarkOutput(ids[len(ids)-1])
+	if rng.Intn(2) == 0 && len(ids) > 2 {
+		c.MarkOutput(ids[rng.Intn(len(ids))])
+	}
+	return c
+}
+
+// equivalent checks functional equivalence of two circuits with matching
+// input names, by exhaustive simulation when feasible, else random.
+func equivalent(t *testing.T, c1, c2 *circuit.Circuit, rng *rand.Rand) bool {
+	t.Helper()
+	ins1 := c1.Inputs()
+	trials := 128
+	for trial := 0; trial < trials; trial++ {
+		a1 := map[int]bool{}
+		a2 := map[int]bool{}
+		for _, id := range ins1 {
+			name := c1.Nodes[id].Name
+			id2, ok := c2.NodeByName(name)
+			if !ok {
+				t.Fatalf("input %q missing in optimized circuit", name)
+			}
+			v := rng.Intn(2) == 1
+			a1[id] = v
+			a2[id2] = v
+		}
+		o1 := c1.EvalOutputs(a1)
+		o2 := c2.EvalOutputs(a2)
+		if len(o1) != len(o2) {
+			t.Fatalf("output count changed: %d -> %d", len(o1), len(o2))
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: Strash preserves circuit function.
+func TestQuickStrashPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 3+rng.Intn(5), 5+rng.Intn(30))
+		opt := Strash(c)
+		if err := opt.Validate(); err != nil {
+			t.Logf("seed %d: invalid strash output: %v", seed, err)
+			return false
+		}
+		return equivalent(t, c, opt, rng)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrashRemovesDuplicates(t *testing.T) {
+	c := circuit.New("dup")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.MustGate("g1", circuit.And, a, b)
+	g2 := c.MustGate("g2", circuit.And, b, a) // structurally identical
+	g3 := c.MustGate("g3", circuit.Or, g1, g2)
+	c.MarkOutput(g3)
+	opt := Strash(c)
+	// g1 and g2 merge; OR(x,x) = x. Result should be a single AND plus
+	// possibly a BUF for the output name.
+	nAnds := 0
+	for _, n := range opt.Nodes {
+		if n.Type == circuit.And {
+			nAnds++
+		}
+	}
+	if nAnds != 1 {
+		t.Errorf("ANDs after strash = %d, want 1\n%s", nAnds, opt)
+	}
+}
+
+func TestStrashFoldsConstants(t *testing.T) {
+	c := circuit.New("const")
+	a := c.AddInput("a")
+	one := c.AddConst("one", true)
+	g := c.MustGate("g", circuit.And, a, one) // = a
+	h := c.MustGate("h", circuit.Xor, g, one) // = ~a
+	c.MarkOutput(h)
+	opt := Strash(c)
+	nAnds := 0
+	for _, n := range opt.Nodes {
+		if n.Type == circuit.And {
+			nAnds++
+		}
+	}
+	if nAnds != 0 {
+		t.Errorf("constant logic not folded:\n%s", opt)
+	}
+	ia, _ := opt.NodeByName("a")
+	for _, v := range []bool{false, true} {
+		if got := opt.EvalOutputs(map[int]bool{ia: v})[0]; got != !v {
+			t.Errorf("f(%v) = %v, want %v", v, got, !v)
+		}
+	}
+}
+
+func TestStrashDropsDeadLogic(t *testing.T) {
+	c := circuit.New("dead")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.MustGate("g", circuit.And, a, b)
+	c.MustGate("dead1", circuit.Or, a, b) // not in any output cone
+	c.MarkOutput(g)
+	opt := Strash(c)
+	if opt.NumGates() > 2 { // AND (+ output BUF at most)
+		t.Errorf("dead logic survived strash:\n%s", opt)
+	}
+}
+
+func TestKeyInputsPreserved(t *testing.T) {
+	c := circuit.New("keys")
+	x := c.AddInput("x")
+	k := c.AddKeyInput("keyinput0")
+	g := c.MustGate("g", circuit.Xnor, x, k)
+	c.MarkOutput(g)
+	opt := Strash(c)
+	if got := len(opt.KeyInputs()); got != 1 {
+		t.Fatalf("key inputs after strash = %d, want 1", got)
+	}
+	if got := len(opt.PrimaryInputs()); got != 1 {
+		t.Fatalf("primary inputs after strash = %d, want 1", got)
+	}
+}
+
+func TestOutputNamesStable(t *testing.T) {
+	c := circuit.New("names")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	y := c.MustGate("y", circuit.Nand, a, b)
+	c.MarkOutput(y)
+	opt := Strash(c)
+	if _, ok := opt.NodeByName("y"); !ok {
+		t.Errorf("output name y lost:\n%s", opt)
+	}
+}
+
+func TestConstantOutput(t *testing.T) {
+	c := circuit.New("constout")
+	a := c.AddInput("a")
+	na := c.MustGate("na", circuit.Not, a)
+	g := c.MustGate("g", circuit.And, a, na) // constant 0
+	c.MarkOutput(g)
+	opt := Strash(c)
+	ia, _ := opt.NodeByName("a")
+	for _, v := range []bool{false, true} {
+		if got := opt.EvalOutputs(map[int]bool{ia: v})[0]; got {
+			t.Errorf("constant-0 output evaluated true for a=%v", v)
+		}
+	}
+}
+
+func TestSharedOutputNode(t *testing.T) {
+	// Two outputs pointing at the same AIG node with opposite polarity.
+	c := circuit.New("share")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.MustGate("g", circuit.And, a, b)
+	h := c.MustGate("h", circuit.Nand, a, b)
+	c.MarkOutput(g)
+	c.MarkOutput(h)
+	opt := Strash(c)
+	if len(opt.Outputs) != 2 {
+		t.Fatalf("outputs = %d, want 2", len(opt.Outputs))
+	}
+	ia, _ := opt.NodeByName("a")
+	ib, _ := opt.NodeByName("b")
+	outs := opt.EvalOutputs(map[int]bool{ia: true, ib: true})
+	if !outs[0] || outs[1] {
+		t.Errorf("outputs wrong: %v", outs)
+	}
+}
+
+func TestFig2bStrashShrinks(t *testing.T) {
+	// The TTLock running example from the paper (Fig. 2b): XNOR-compare
+	// restoration plus cube stripper. Strash should produce a compact
+	// AND/NOT netlist comparable to Fig. 3 (~30 nodes), and preserve
+	// function.
+	c := circuit.New("fig2b")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	cc := c.AddInput("c")
+	d := c.AddInput("d")
+	k1 := c.AddKeyInput("keyinput1")
+	k2 := c.AddKeyInput("keyinput2")
+	k3 := c.AddKeyInput("keyinput3")
+	k4 := c.AddKeyInput("keyinput4")
+	// Original function y = ab + bc + ca + d.
+	ab := c.MustGate("ab", circuit.And, a, b)
+	bc := c.MustGate("bc", circuit.And, b, cc)
+	ca := c.MustGate("ca", circuit.And, cc, a)
+	y0 := c.MustGate("y0", circuit.Or, ab, bc, ca, d)
+	// Stripper: F = a & ~b & ~c & d.
+	nb := c.MustGate("nb", circuit.Not, b)
+	nc := c.MustGate("ncc", circuit.Not, cc)
+	f := c.MustGate("F", circuit.And, a, nb, nc, d)
+	yfs := c.MustGate("yfs", circuit.Xor, y0, f)
+	// Restoration: AND of XNOR comparators.
+	c1 := c.MustGate("c1", circuit.Xnor, a, k1)
+	c2 := c.MustGate("c2", circuit.Xnor, b, k2)
+	c3 := c.MustGate("c3", circuit.Xnor, cc, k3)
+	c4 := c.MustGate("c4", circuit.Xnor, d, k4)
+	g := c.MustGate("G", circuit.And, c1, c2, c3, c4)
+	y := c.MustGate("y", circuit.Xor, yfs, g)
+	c.MarkOutput(y)
+
+	opt := Strash(c)
+	rng := rand.New(rand.NewSource(5))
+	if !equivalent(t, c, opt, rng) {
+		t.Fatal("strash changed the locked circuit's function")
+	}
+	if opt.NumGates() > 60 {
+		t.Errorf("strash output suspiciously large: %d gates", opt.NumGates())
+	}
+	// With the correct key (1,0,0,1), the locked circuit equals the
+	// original function.
+	ins := map[string]int{}
+	for _, id := range opt.Inputs() {
+		ins[opt.Nodes[id].Name] = id
+	}
+	for p := 0; p < 16; p++ {
+		va, vb, vc, vd := p&1 == 1, p&2 == 2, p&4 == 4, p&8 == 8
+		want := (va && vb) || (vb && vc) || (vc && va) || vd
+		got := opt.EvalOutputs(map[int]bool{
+			ins["a"]: va, ins["b"]: vb, ins["c"]: vc, ins["d"]: vd,
+			ins["keyinput1"]: true, ins["keyinput2"]: false,
+			ins["keyinput3"]: false, ins["keyinput4"]: true,
+		})[0]
+		if got != want {
+			t.Errorf("correct key, pattern %04b: got %v want %v", p, got, want)
+		}
+	}
+	// A wrong key must corrupt exactly the protected cube (TTLock).
+	diffs := 0
+	for p := 0; p < 16; p++ {
+		va, vb, vc, vd := p&1 == 1, p&2 == 2, p&4 == 4, p&8 == 8
+		want := (va && vb) || (vb && vc) || (vc && va) || vd
+		got := opt.EvalOutputs(map[int]bool{
+			ins["a"]: va, ins["b"]: vb, ins["c"]: vc, ins["d"]: vd,
+			ins["keyinput1"]: true, ins["keyinput2"]: true,
+			ins["keyinput3"]: false, ins["keyinput4"]: true,
+		})[0]
+		if got != want {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Error("wrong key produced no output corruption")
+	}
+}

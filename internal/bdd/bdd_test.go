@@ -1,0 +1,346 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/lock"
+	"repro/internal/testcirc"
+)
+
+func TestTerminalsAndVar(t *testing.T) {
+	m := New(3, 0)
+	x := m.Var(0)
+	if x == True || x == False {
+		t.Fatal("variable is a terminal")
+	}
+	if m.Eval(x, []bool{true, false, false}) != true {
+		t.Error("x0 under x0=1 should be true")
+	}
+	if m.Eval(x, []bool{false, true, true}) != false {
+		t.Error("x0 under x0=0 should be false")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	m := New(2, 0)
+	a, b := m.Var(0), m.Var(1)
+	and, _ := m.And(a, b)
+	or, _ := m.Or(a, b)
+	xor, _ := m.Xor(a, b)
+	na, _ := m.Not(a)
+	for p := 0; p < 4; p++ {
+		va, vb := p&1 == 1, p&2 == 2
+		assign := []bool{va, vb}
+		if m.Eval(and, assign) != (va && vb) {
+			t.Errorf("and(%v,%v)", va, vb)
+		}
+		if m.Eval(or, assign) != (va || vb) {
+			t.Errorf("or(%v,%v)", va, vb)
+		}
+		if m.Eval(xor, assign) != (va != vb) {
+			t.Errorf("xor(%v,%v)", va, vb)
+		}
+		if m.Eval(na, assign) != !va {
+			t.Errorf("not(%v)", va)
+		}
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(3, 0)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	// (a AND b) OR c built two different ways must be the same node.
+	ab, _ := m.And(a, b)
+	f1, _ := m.Or(ab, c)
+	nc, _ := m.Not(c)
+	nab, _ := m.Not(ab)
+	bad, _ := m.And(nab, nc)
+	f2, _ := m.Not(bad) // De Morgan
+	if f1 != f2 {
+		t.Error("equivalent functions got different nodes (canonicity violated)")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := New(2, 0)
+	a, b := m.Var(0), m.Var(1)
+	xor, _ := m.Xor(a, b)
+	r0, _ := m.Restrict(xor, 0, false)
+	if r0 != b {
+		t.Error("xor|a=0 != b")
+	}
+	r1, _ := m.Restrict(xor, 0, true)
+	nb, _ := m.Not(b)
+	if r1 != nb {
+		t.Error("xor|a=1 != ~b")
+	}
+}
+
+func TestUnateness(t *testing.T) {
+	m := New(3, 0)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	nb, _ := m.Not(b)
+	cube, _ := m.And(a, nb) // a & ~b: pos in a, neg in b, independent of c
+	cube, _ = m.And(cube, True)
+	if u, _ := m.UnatenessIn(cube, 0); u != PositiveUnate {
+		t.Errorf("a: %v", u)
+	}
+	if u, _ := m.UnatenessIn(cube, 1); u != NegativeUnate {
+		t.Errorf("b: %v", u)
+	}
+	if u, _ := m.UnatenessIn(cube, 2); u != Independent {
+		t.Errorf("c: %v", u)
+	}
+	xor, _ := m.Xor(a, b)
+	if u, _ := m.UnatenessIn(xor, 0); u != Binate {
+		t.Errorf("xor in a: %v", u)
+	}
+	_ = c
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(4, 0)
+	a, b := m.Var(0), m.Var(1)
+	and, _ := m.And(a, b)
+	if got := m.SatCount(and); got != 4 { // a&b over 4 vars: 2^2 assignments
+		t.Errorf("satcount(a&b) = %v, want 4", got)
+	}
+	if got := m.SatCount(True); got != 16 {
+		t.Errorf("satcount(true) = %v, want 16", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("satcount(false) = %v, want 0", got)
+	}
+}
+
+func TestAnySatAndSupport(t *testing.T) {
+	m := New(3, 0)
+	a, c := m.Var(0), m.Var(2)
+	nc, _ := m.Not(c)
+	f, _ := m.And(a, nc)
+	sup := m.Support(f)
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 2 {
+		t.Errorf("support = %v, want [0 2]", sup)
+	}
+	assign := m.AnySat(f)
+	if assign == nil || !m.Eval(f, assign) {
+		t.Errorf("AnySat returned non-satisfying %v", assign)
+	}
+	if m.AnySat(False) != nil {
+		t.Error("AnySat(False) should be nil")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A tiny budget must trigger ErrNodeLimit on a parity chain (whose
+	// BDD is linear but intermediate ITE allocations exceed 8 nodes).
+	m := New(16, 8)
+	f := m.Var(0)
+	var err error
+	for i := 1; i < 16; i++ {
+		f, err = m.Xor(f, m.Var(i))
+		if err != nil {
+			break
+		}
+	}
+	if err != ErrNodeLimit {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+// Property: BDD evaluation of random circuits agrees with simulation.
+func TestQuickFromCircuitAgreesWithSim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := testcirc.Random(rng, 4+rng.Intn(4), 10+rng.Intn(30))
+		m := New(len(c.Inputs()), 0)
+		nodes, err := FromCircuit(m, c)
+		if err != nil {
+			return false
+		}
+		out := c.Outputs[0]
+		ins := c.Inputs()
+		for trial := 0; trial < 16; trial++ {
+			assign := map[int]bool{}
+			bddAssign := make([]bool, len(ins))
+			for i, id := range ins {
+				v := rng.Intn(2) == 1
+				assign[id] = v
+				bddAssign[i] = v
+			}
+			if m.Eval(nodes[out], bddAssign) != c.Eval(assign)[out] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCubeFromUnatenessOnTTLockStripper(t *testing.T) {
+	// Extract the cube of a real TTLock stripper cone with the BDD
+	// engine and confirm it matches the planted cube.
+	orig := testcirc.Fig2a()
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: 4, Seed: 7, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the stripper: a node whose support is the 4 protected inputs
+	// and no keys, and which is a cube function. Walk all such nodes.
+	locked := lr.Locked
+	found := false
+	for id := range locked.Nodes {
+		if locked.Nodes[id].Type == circuit.Input {
+			continue
+		}
+		sup := locked.Support(id)
+		if len(sup) != 4 {
+			continue
+		}
+		hasKey := false
+		for _, s := range sup {
+			if locked.Nodes[s].IsKey {
+				hasKey = true
+			}
+		}
+		if hasKey {
+			continue
+		}
+		cone, im := locked.Cone(id)
+		cube, ok, err := CubeFromUnateness(cone, 0)
+		if err != nil || !ok {
+			continue
+		}
+		eq, err := EquivalentToStrip(cone, cube, 0, 0)
+		if err != nil || !eq {
+			continue
+		}
+		// Verify against the planted cube.
+		match := true
+		for ci, orig := range im {
+			name := locked.Nodes[orig].Name
+			if cube[ci] != lr.Cube[name] {
+				match = false
+			}
+		}
+		if match {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("BDD engine failed to locate and extract the planted cube")
+	}
+}
+
+func TestEquivalentToStripCounts(t *testing.T) {
+	// SatCount of strip_h must be C(m,h); verify via stripBDD.
+	m := New(6, 0)
+	inputs := []int{10, 11, 12, 13, 14, 15} // arbitrary ids
+	cube := map[int]bool{10: true, 11: false, 12: true, 13: false, 14: true, 15: false}
+	for h := 0; h <= 3; h++ {
+		f, err := stripBDD(m, inputs, cube, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(binom(6, h))
+		if got := m.SatCount(f); math.Abs(got-want) > 1e-9 {
+			t.Errorf("h=%d: satcount = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func binom(n, k int) int {
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+func TestEquivalentToStripRejectsWrongCube(t *testing.T) {
+	// Build a cube circuit and check against a wrong cube.
+	c := circuit.New("cube")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	nb := c.MustGate("nb", circuit.Not, b)
+	g := c.MustGate("g", circuit.And, a, nb)
+	c.MarkOutput(g)
+	right := map[int]bool{a: true, b: false}
+	wrong := map[int]bool{a: false, b: true}
+	if ok, err := EquivalentToStrip(c, right, 0, 0); err != nil || !ok {
+		t.Errorf("right cube rejected: %v %v", ok, err)
+	}
+	if ok, err := EquivalentToStrip(c, wrong, 0, 0); err != nil || ok {
+		t.Errorf("wrong cube accepted: %v %v", ok, err)
+	}
+}
+
+// Property: BDD unateness agrees with exhaustive truth-table unateness on
+// random small circuits.
+func TestQuickUnatenessAgainstTruthTable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nIn := 3 + rng.Intn(3)
+		c := testcirc.Random(rng, nIn, 8+rng.Intn(20))
+		ins := c.Inputs()
+		m := New(nIn, 0)
+		nodes, err := FromCircuit(m, c)
+		if err != nil {
+			return false
+		}
+		fn := nodes[c.Outputs[0]]
+		for vi := range ins {
+			got, err := m.UnatenessIn(fn, vi)
+			if err != nil {
+				return false
+			}
+			pos, neg := true, true
+			for p := 0; p < 1<<uint(nIn); p++ {
+				if p&(1<<uint(vi)) != 0 {
+					continue // enumerate with vi = 0
+				}
+				assign := map[int]bool{}
+				ba := make([]bool, nIn)
+				for i, id := range ins {
+					v := p&(1<<uint(i)) != 0
+					assign[id] = v
+					ba[i] = v
+				}
+				f0 := c.Eval(assign)[c.Outputs[0]]
+				assign[ins[vi]] = true
+				f1 := c.Eval(assign)[c.Outputs[0]]
+				if f0 && !f1 {
+					pos = false
+				}
+				if f1 && !f0 {
+					neg = false
+				}
+			}
+			var want Unateness
+			switch {
+			case pos && neg:
+				want = Independent
+			case pos:
+				want = PositiveUnate
+			case neg:
+				want = NegativeUnate
+			default:
+				want = Binate
+			}
+			if got != want {
+				t.Logf("seed %d var %d: got %v want %v", seed, vi, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// FromCircuit builds BDDs for every node of the circuit. Inputs are
+// assigned BDD variables in id order (input i in c.Inputs() order gets
+// variable i). It returns one BDD node per circuit node, or ErrNodeLimit
+// on blow-up.
+func FromCircuit(m *Manager, c *circuit.Circuit) ([]Node, error) {
+	inputs := c.Inputs()
+	if m.NumVars() < len(inputs) {
+		return nil, fmt.Errorf("bdd: manager has %d vars, circuit needs %d", m.NumVars(), len(inputs))
+	}
+	varOf := make(map[int]int, len(inputs))
+	for i, id := range inputs {
+		varOf[id] = i
+	}
+	out := make([]Node, c.Len())
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		var err error
+		switch n.Type {
+		case circuit.Input:
+			out[id] = m.Var(varOf[id])
+		case circuit.Const0:
+			out[id] = False
+		case circuit.Const1:
+			out[id] = True
+		case circuit.Buf:
+			out[id] = out[n.Fanins[0]]
+		case circuit.Not:
+			out[id], err = m.Not(out[n.Fanins[0]])
+		case circuit.And, circuit.Nand:
+			v := True
+			for _, f := range n.Fanins {
+				if v, err = m.And(v, out[f]); err != nil {
+					return nil, err
+				}
+			}
+			if n.Type == circuit.Nand {
+				v, err = m.Not(v)
+			}
+			out[id] = v
+		case circuit.Or, circuit.Nor:
+			v := False
+			for _, f := range n.Fanins {
+				if v, err = m.Or(v, out[f]); err != nil {
+					return nil, err
+				}
+			}
+			if n.Type == circuit.Nor {
+				v, err = m.Not(v)
+			}
+			out[id] = v
+		case circuit.Xor, circuit.Xnor:
+			v := False
+			for _, f := range n.Fanins {
+				if v, err = m.Xor(v, out[f]); err != nil {
+					return nil, err
+				}
+			}
+			if n.Type == circuit.Xnor {
+				v, err = m.Not(v)
+			}
+			out[id] = v
+		default:
+			return nil, fmt.Errorf("bdd: unknown gate type %v", n.Type)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CubeFromUnateness is the BDD-engine counterpart of the FALL attack's
+// AnalyzeUnateness (Lemma 1): given a single-output cone circuit, it
+// checks unateness of the output in every input exactly on the BDD and
+// returns the implied protected cube keyed by cone input node id. ok is
+// false when the function is binate in any variable. ErrNodeLimit
+// signals BDD blow-up (callers should fall back to the SAT engine).
+func CubeFromUnateness(cone *circuit.Circuit, maxNodes int) (cube map[int]bool, ok bool, err error) {
+	if len(cone.Outputs) != 1 {
+		return nil, false, fmt.Errorf("bdd: cone must have exactly one output")
+	}
+	inputs := cone.Inputs()
+	m := New(len(inputs), maxNodes)
+	nodes, err := FromCircuit(m, cone)
+	if err != nil {
+		return nil, false, err
+	}
+	f := nodes[cone.Outputs[0]]
+	cube = make(map[int]bool, len(inputs))
+	for i, id := range inputs {
+		u, err := m.UnatenessIn(f, i)
+		if err != nil {
+			return nil, false, err
+		}
+		switch u {
+		case PositiveUnate, Independent:
+			// Match Algorithm 1's check order: positive wins ties.
+			cube[id] = true
+		case NegativeUnate:
+			cube[id] = false
+		default:
+			return nil, false, nil
+		}
+	}
+	return cube, true, nil
+}
+
+// EquivalentToStrip checks on the BDD whether the cone's output function
+// equals strip_h(cube), the paper's §IV-C sufficiency check. cube is
+// keyed by cone input node id.
+func EquivalentToStrip(cone *circuit.Circuit, cube map[int]bool, h, maxNodes int) (bool, error) {
+	if len(cone.Outputs) != 1 {
+		return false, fmt.Errorf("bdd: cone must have exactly one output")
+	}
+	inputs := cone.Inputs()
+	m := New(len(inputs), maxNodes)
+	nodes, err := FromCircuit(m, cone)
+	if err != nil {
+		return false, err
+	}
+	f := nodes[cone.Outputs[0]]
+	ref, err := stripBDD(m, inputs, cube, h)
+	if err != nil {
+		return false, err
+	}
+	return f == ref, nil // canonicity: equal functions are equal nodes
+}
+
+// stripBDD builds [HD(X, cube) == h] over the manager's variables using
+// the dynamic-programming shell construction: count[j] after processing i
+// variables is the BDD of "exactly j of the first i bits differ".
+func stripBDD(m *Manager, inputs []int, cube map[int]bool, h int) (Node, error) {
+	count := make([]Node, h+1)
+	count[0] = True
+	for j := 1; j <= h; j++ {
+		count[j] = False
+	}
+	for i, id := range inputs {
+		d := m.Var(i) // differs iff x_i != cube_i
+		if cube[id] {
+			var err error
+			if d, err = m.Not(d); err != nil {
+				return False, err
+			}
+		}
+		nd, err := m.Not(d)
+		if err != nil {
+			return False, err
+		}
+		next := make([]Node, h+1)
+		for j := h; j >= 0; j-- {
+			same, err := m.And(count[j], nd)
+			if err != nil {
+				return False, err
+			}
+			next[j] = same
+			if j > 0 {
+				diff, err := m.And(count[j-1], d)
+				if err != nil {
+					return False, err
+				}
+				if next[j], err = m.Or(same, diff); err != nil {
+					return False, err
+				}
+			}
+		}
+		count = next
+	}
+	return count[h], nil
+}

@@ -1,0 +1,319 @@
+// Package bench reads and writes combinational circuits in the BENCH
+// netlist format used by the ISCAS'85 benchmark suite and by the logic
+// locking community. The format is line oriented:
+//
+//	# comment
+//	INPUT(a)
+//	INPUT(keyinput0)
+//	OUTPUT(y)
+//	g1 = AND(a, keyinput0)
+//	y  = NOT(g1)
+//
+// Inputs whose names begin with "keyinput" (case-insensitive) are treated
+// as key inputs, following the convention of published locked benchmarks.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// KeyInputPrefix is the name prefix that marks an input as a key input.
+const KeyInputPrefix = "keyinput"
+
+// ParseError describes a syntax or semantic error in a BENCH file.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("bench: line %d: %s", e.Line, e.Msg)
+}
+
+var gateTypeByName = map[string]circuit.GateType{
+	"AND": circuit.And, "NAND": circuit.Nand,
+	"OR": circuit.Or, "NOR": circuit.Nor,
+	"XOR": circuit.Xor, "XNOR": circuit.Xnor,
+	"NOT": circuit.Not, "INV": circuit.Not,
+	"BUF": circuit.Buf, "BUFF": circuit.Buf,
+}
+
+var nameByGateType = map[circuit.GateType]string{
+	circuit.And: "AND", circuit.Nand: "NAND",
+	circuit.Or: "OR", circuit.Nor: "NOR",
+	circuit.Xor: "XOR", circuit.Xnor: "XNOR",
+	circuit.Not: "NOT", circuit.Buf: "BUFF",
+}
+
+type rawGate struct {
+	line   int
+	name   string
+	op     string
+	fanins []string
+}
+
+// Parse reads a BENCH netlist and returns the circuit. Gates may be listed
+// in any order; Parse topologically sorts them. Inputs named with
+// KeyInputPrefix are marked as key inputs.
+func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var inputs, outputs []string
+	var gates []rawGate
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			outputs = append(outputs, arg)
+		default:
+			g, err := parseGateLine(line)
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			g.line = lineNo
+			gates = append(gates, g)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: read: %w", err)
+	}
+	return build(name, inputs, outputs, gates)
+}
+
+// ParseString is Parse on a string.
+func ParseString(s, name string) (*circuit.Circuit, error) {
+	return Parse(strings.NewReader(s), name)
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty signal name in %q", line)
+	}
+	return arg, nil
+}
+
+func parseGateLine(line string) (rawGate, error) {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return rawGate{}, fmt.Errorf("expected assignment, got %q", line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	if name == "" {
+		return rawGate{}, fmt.Errorf("empty gate name in %q", line)
+	}
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close := strings.LastIndexByte(rhs, ')')
+	if open < 0 || close < open {
+		return rawGate{}, fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	if _, ok := gateTypeByName[op]; !ok {
+		return rawGate{}, fmt.Errorf("unknown gate type %q", op)
+	}
+	var fanins []string
+	for _, f := range strings.Split(rhs[open+1:close], ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return rawGate{}, fmt.Errorf("empty fanin in %q", rhs)
+		}
+		fanins = append(fanins, f)
+	}
+	return rawGate{name: name, op: op, fanins: fanins}, nil
+}
+
+func build(name string, inputs, outputs []string, gates []rawGate) (*circuit.Circuit, error) {
+	c := circuit.New(name)
+	declared := make(map[string]bool)
+	for _, in := range inputs {
+		if declared[in] {
+			return nil, fmt.Errorf("bench: duplicate input %q", in)
+		}
+		declared[in] = true
+		if strings.HasPrefix(strings.ToLower(in), KeyInputPrefix) {
+			c.AddKeyInput(in)
+		} else {
+			c.AddInput(in)
+		}
+	}
+	byName := make(map[string]rawGate, len(gates))
+	for _, g := range gates {
+		if declared[g.name] {
+			return nil, &ParseError{g.line, fmt.Sprintf("signal %q defined twice", g.name)}
+		}
+		if _, dup := byName[g.name]; dup {
+			return nil, &ParseError{g.line, fmt.Sprintf("signal %q defined twice", g.name)}
+		}
+		byName[g.name] = g
+	}
+	// Topological insertion via DFS with cycle detection.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(sig string) error
+	visit = func(sig string) error {
+		if _, isInput := c.NodeByName(sig); isInput {
+			if color[sig] == black {
+				return nil
+			}
+		}
+		switch color[sig] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("bench: combinational cycle through %q", sig)
+		}
+		g, ok := byName[sig]
+		if !ok {
+			if _, isIn := c.NodeByName(sig); isIn {
+				color[sig] = black
+				return nil
+			}
+			return fmt.Errorf("bench: undefined signal %q", sig)
+		}
+		color[sig] = gray
+		fanins := make([]int, len(g.fanins))
+		for i, f := range g.fanins {
+			if err := visit(f); err != nil {
+				return err
+			}
+			id, _ := c.NodeByName(f)
+			fanins[i] = id
+		}
+		if _, err := c.AddGate(g.name, gateTypeByName[g.op], fanins...); err != nil {
+			return &ParseError{g.line, err.Error()}
+		}
+		color[sig] = black
+		return nil
+	}
+	// Mark inputs resolved.
+	for _, in := range inputs {
+		color[in] = black
+	}
+	// Visit gates in declaration order for stable ids, then outputs.
+	for _, g := range gates {
+		if err := visit(g.name); err != nil {
+			return nil, err
+		}
+	}
+	for _, out := range outputs {
+		id, ok := c.NodeByName(out)
+		if !ok {
+			return nil, fmt.Errorf("bench: output %q is not defined", out)
+		}
+		c.MarkOutput(id)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: internal: %w", err)
+	}
+	return c, nil
+}
+
+// Write serializes the circuit in BENCH format. Constants are lowered to
+// gates over a dedicated input when present (BENCH has no constant
+// literal): Const1 becomes OR(x, NOT x) style logic only if constants
+// exist, otherwise the output is a direct transcription.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.Inputs()), len(c.Outputs), c.NumGates())
+	for _, id := range c.Inputs() {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Nodes[id].Name)
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nodes[id].Name)
+	}
+	// BENCH lacks constants; synthesize them from the first input if needed.
+	constBase := ""
+	for _, n := range c.Nodes {
+		if n.Type == circuit.Const0 || n.Type == circuit.Const1 {
+			ins := c.Inputs()
+			if len(ins) == 0 {
+				return fmt.Errorf("bench: cannot serialize constants in a circuit with no inputs")
+			}
+			constBase = c.Nodes[ins[0]].Name
+			break
+		}
+	}
+	wroteConstHelpers := false
+	emitConstHelpers := func() {
+		if wroteConstHelpers {
+			return
+		}
+		fmt.Fprintf(bw, "__not_base = NOT(%s)\n", constBase)
+		fmt.Fprintf(bw, "__const0 = AND(%s, __not_base)\n", constBase)
+		fmt.Fprintf(bw, "__const1 = OR(%s, __not_base)\n", constBase)
+		wroteConstHelpers = true
+	}
+	for id, n := range c.Nodes {
+		switch n.Type {
+		case circuit.Input:
+			continue
+		case circuit.Const0:
+			emitConstHelpers()
+			fmt.Fprintf(bw, "%s = BUFF(__const0)\n", n.Name)
+		case circuit.Const1:
+			emitConstHelpers()
+			fmt.Fprintf(bw, "%s = BUFF(__const1)\n", n.Name)
+		default:
+			names := make([]string, len(n.Fanins))
+			for i, f := range n.Fanins {
+				names[i] = c.Nodes[f].Name
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)\n", n.Name, nameByGateType[n.Type], strings.Join(names, ", "))
+		}
+		_ = id
+	}
+	return bw.Flush()
+}
+
+// WriteString serializes the circuit to a string, panicking on failure
+// (cannot happen for a valid circuit).
+func WriteString(c *circuit.Circuit) string {
+	var b strings.Builder
+	if err := Write(&b, c); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+// SortedSignalNames returns all node names sorted, primarily for
+// deterministic test diagnostics.
+func SortedSignalNames(c *circuit.Circuit) []string {
+	names := make([]string, 0, c.Len())
+	for _, n := range c.Nodes {
+		names = append(names, n.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,399 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/sat"
+)
+
+// checkGateEquivTruth verifies that, for every input assignment forced via
+// unit clauses, the encoded node literal matches circuit simulation.
+func checkGateEquivTruth(t *testing.T, c *circuit.Circuit) {
+	t.Helper()
+	ins := c.Inputs()
+	if len(ins) > 10 {
+		t.Fatalf("too many inputs for exhaustive check: %d", len(ins))
+	}
+	for p := 0; p < 1<<uint(len(ins)); p++ {
+		s := sat.New()
+		e := NewEncoder(s)
+		lits := e.EncodeCircuit(c)
+		assign := map[int]bool{}
+		for i, id := range ins {
+			v := p&(1<<uint(i)) != 0
+			assign[id] = v
+			e.Fix(lits[id], v)
+		}
+		if got := s.Solve(); got != sat.Sat {
+			t.Fatalf("pattern %b: encoding unsatisfiable", p)
+		}
+		want := c.Eval(assign)
+		for id := range c.Nodes {
+			if s.LitTrue(lits[id]) != want[id] {
+				t.Fatalf("pattern %b: node %d (%s): encoded %v, simulated %v",
+					p, id, c.Nodes[id].Name, s.LitTrue(lits[id]), want[id])
+			}
+		}
+	}
+}
+
+func TestEncodeAllGateTypes(t *testing.T) {
+	c := circuit.New("gates")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	c.MustGate("and", circuit.And, a, b, d)
+	c.MustGate("nand", circuit.Nand, a, b)
+	c.MustGate("or", circuit.Or, a, b, d)
+	c.MustGate("nor", circuit.Nor, a, b)
+	c.MustGate("xor", circuit.Xor, a, b, d)
+	c.MustGate("xnor", circuit.Xnor, a, b)
+	c.MustGate("not", circuit.Not, a)
+	c.MustGate("buf", circuit.Buf, b)
+	one := c.AddConst("one", true)
+	zero := c.AddConst("zero", false)
+	g := c.MustGate("mix", circuit.And, one, a)
+	h := c.MustGate("mix2", circuit.Or, zero, g)
+	c.MarkOutput(h)
+	checkGateEquivTruth(t, c)
+}
+
+// Property: Tseitin encoding of random circuits agrees with simulation.
+func TestQuickTseitinAgreesWithSim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 4, 4+rng.Intn(18))
+		ins := c.Inputs()
+		s := sat.New()
+		e := NewEncoder(s)
+		lits := e.EncodeCircuit(c)
+		for trial := 0; trial < 6; trial++ {
+			s2 := sat.New()
+			e2 := NewEncoder(s2)
+			lits2 := e2.EncodeCircuitWith(c, nil)
+			assign := map[int]bool{}
+			for _, id := range ins {
+				v := rng.Intn(2) == 1
+				assign[id] = v
+				e2.Fix(lits2[id], v)
+			}
+			if s2.Solve() != sat.Sat {
+				return false
+			}
+			want := c.Eval(assign)
+			for _, o := range c.Outputs {
+				if s2.LitTrue(lits2[o]) != want[o] {
+					return false
+				}
+			}
+		}
+		_ = lits
+		_ = s
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomCircuit(rng *rand.Rand, nIn, nGates int) *circuit.Circuit {
+	c := circuit.New("rand")
+	ids := make([]int, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		ids = append(ids, c.AddInput(""))
+	}
+	types := []circuit.GateType{
+		circuit.And, circuit.Nand, circuit.Or, circuit.Nor,
+		circuit.Xor, circuit.Xnor, circuit.Not, circuit.Buf,
+	}
+	for i := 0; i < nGates; i++ {
+		gt := types[rng.Intn(len(types))]
+		n := 1
+		if gt != circuit.Not && gt != circuit.Buf {
+			n = 2 + rng.Intn(2)
+		}
+		fanins := make([]int, n)
+		for j := range fanins {
+			fanins[j] = ids[rng.Intn(len(ids))]
+		}
+		ids = append(ids, c.MustGate("", gt, fanins...))
+	}
+	c.MarkOutput(ids[len(ids)-1])
+	return c
+}
+
+func TestSharedInputsAcrossCopies(t *testing.T) {
+	// Encode the same XOR circuit twice sharing inputs: outputs must be
+	// provably equal (miter UNSAT).
+	c := circuit.New("x")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.MustGate("g", circuit.Xor, a, b)
+	c.MarkOutput(g)
+
+	s := sat.New()
+	e := NewEncoder(s)
+	lits1 := e.EncodeCircuit(c)
+	shared := map[int]sat.Lit{a: lits1[a], b: lits1[b]}
+	lits2 := e.EncodeCircuitWith(c, shared)
+	// Miter: outputs differ.
+	d := e.Xor(lits1[g], lits2[g])
+	s.AddClause(d)
+	if got := s.Solve(); got != sat.Unsat {
+		t.Fatalf("identical copies with shared inputs: got %v, want UNSAT", got)
+	}
+}
+
+func TestMiterDetectsDifference(t *testing.T) {
+	// AND vs OR of the same inputs must be distinguishable.
+	c1 := circuit.New("and")
+	a1 := c1.AddInput("a")
+	b1 := c1.AddInput("b")
+	g1 := c1.MustGate("g", circuit.And, a1, b1)
+	c1.MarkOutput(g1)
+	c2 := circuit.New("or")
+	a2 := c2.AddInput("a")
+	b2 := c2.AddInput("b")
+	g2 := c2.MustGate("g", circuit.Or, a2, b2)
+	c2.MarkOutput(g2)
+
+	s := sat.New()
+	e := NewEncoder(s)
+	lits1 := e.EncodeCircuit(c1)
+	lits2 := e.EncodeCircuitWith(c2, map[int]sat.Lit{a2: lits1[a1], b2: lits1[b1]})
+	s.AddClause(e.Xor(lits1[g1], lits2[g2]))
+	if got := s.Solve(); got != sat.Sat {
+		t.Fatalf("AND vs OR miter: got %v, want SAT", got)
+	}
+	// The distinguishing input must actually distinguish: a != b.
+	if s.LitTrue(lits1[a1]) == s.LitTrue(lits1[b1]) {
+		t.Error("model is not a distinguishing input for AND vs OR")
+	}
+}
+
+func countTrue(s *sat.Solver, lits []sat.Lit) int {
+	n := 0
+	for _, l := range lits {
+		if s.LitTrue(l) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestExactlyKBothEncodings(t *testing.T) {
+	for _, enc := range []CardEncoding{AdderTree, SeqCounter} {
+		for n := 1; n <= 7; n++ {
+			for k := 0; k <= n; k++ {
+				s := sat.New()
+				e := NewEncoder(s)
+				lits := make([]sat.Lit, n)
+				for i := range lits {
+					lits[i] = e.NewLit()
+				}
+				e.ExactlyK(lits, k, enc)
+				if got := s.Solve(); got != sat.Sat {
+					t.Fatalf("%v n=%d k=%d: got %v, want SAT", enc, n, k, got)
+				}
+				if got := countTrue(s, lits); got != k {
+					t.Fatalf("%v n=%d k=%d: model has %d true", enc, n, k, got)
+				}
+				// Block this model and count all solutions = C(n,k).
+				want := binom(n, k)
+				count := 0
+				for s.Solve() == sat.Sat {
+					count++
+					if count > want {
+						break
+					}
+					block := make([]sat.Lit, n)
+					for i, l := range lits {
+						if s.LitTrue(l) {
+							block[i] = l.Neg()
+						} else {
+							block[i] = l
+						}
+					}
+					s.AddClause(block...)
+				}
+				if count != want {
+					t.Fatalf("%v n=%d k=%d: %d solutions, want %d", enc, n, k, count, want)
+				}
+			}
+		}
+	}
+}
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+func TestExactlyKInfeasible(t *testing.T) {
+	s := sat.New()
+	e := NewEncoder(s)
+	lits := []sat.Lit{e.NewLit(), e.NewLit()}
+	e.ExactlyK(lits, 5, AdderTree)
+	if got := s.Solve(); got != sat.Unsat {
+		t.Fatalf("k > n: got %v, want UNSAT", got)
+	}
+}
+
+func TestHammingEq(t *testing.T) {
+	for _, enc := range []CardEncoding{AdderTree, SeqCounter} {
+		const n = 6
+		for k := 0; k <= n; k++ {
+			s := sat.New()
+			e := NewEncoder(s)
+			xs := make([]sat.Lit, n)
+			ys := make([]sat.Lit, n)
+			for i := range xs {
+				xs[i] = e.NewLit()
+				ys[i] = e.NewLit()
+			}
+			e.HammingEq(xs, ys, k, enc)
+			if got := s.Solve(); got != sat.Sat {
+				t.Fatalf("%v k=%d: got %v", enc, k, got)
+			}
+			hd := 0
+			for i := range xs {
+				if s.LitTrue(xs[i]) != s.LitTrue(ys[i]) {
+					hd++
+				}
+			}
+			if hd != k {
+				t.Fatalf("%v: model HD = %d, want %d", enc, hd, k)
+			}
+		}
+	}
+}
+
+// Property: both cardinality encodings accept/reject the same assignments.
+func TestQuickEncodingsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		k := rng.Intn(n + 1)
+		values := make([]bool, n)
+		cnt := 0
+		for i := range values {
+			values[i] = rng.Intn(2) == 1
+			if values[i] {
+				cnt++
+			}
+		}
+		results := [2]sat.Status{}
+		for ei, enc := range []CardEncoding{AdderTree, SeqCounter} {
+			s := sat.New()
+			e := NewEncoder(s)
+			lits := make([]sat.Lit, n)
+			for i := range lits {
+				lits[i] = e.NewLit()
+				e.Fix(lits[i], values[i])
+			}
+			e.ExactlyK(lits, k, enc)
+			results[ei] = s.Solve()
+		}
+		want := sat.Unsat
+		if cnt == k {
+			want = sat.Sat
+		}
+		return results[0] == want && results[1] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPopcountBinary(t *testing.T) {
+	const n = 5
+	for p := 0; p < 1<<n; p++ {
+		s := sat.New()
+		e := NewEncoder(s)
+		lits := make([]sat.Lit, n)
+		cnt := 0
+		for i := range lits {
+			lits[i] = e.NewLit()
+			v := p&(1<<uint(i)) != 0
+			e.Fix(lits[i], v)
+			if v {
+				cnt++
+			}
+		}
+		bits := e.Popcount(lits)
+		if s.Solve() != sat.Sat {
+			t.Fatalf("popcount base encoding unsat")
+		}
+		got := 0
+		for i, b := range bits {
+			if s.LitTrue(b) {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != cnt {
+			t.Fatalf("pattern %b: popcount = %d, want %d", p, got, cnt)
+		}
+	}
+}
+
+func TestIte(t *testing.T) {
+	for p := 0; p < 8; p++ {
+		s := sat.New()
+		e := NewEncoder(s)
+		c, tt, ff := e.NewLit(), e.NewLit(), e.NewLit()
+		z := e.Ite(c, tt, ff)
+		cv, tv, fv := p&1 == 1, p&2 == 2, p&4 == 4
+		e.Fix(c, cv)
+		e.Fix(tt, tv)
+		e.Fix(ff, fv)
+		if s.Solve() != sat.Sat {
+			t.Fatal("ite unsat")
+		}
+		want := fv
+		if cv {
+			want = tv
+		}
+		if s.LitTrue(z) != want {
+			t.Fatalf("ite(%v,%v,%v) = %v, want %v", cv, tv, fv, s.LitTrue(z), want)
+		}
+	}
+}
+
+func TestEqualVecAndNotEqual(t *testing.T) {
+	s := sat.New()
+	e := NewEncoder(s)
+	as := []sat.Lit{e.NewLit(), e.NewLit()}
+	bs := []sat.Lit{e.NewLit(), e.NewLit()}
+	e.EqualVec(as, bs)
+	e.NotEqual(as, bs)
+	if got := s.Solve(); got != sat.Unsat {
+		t.Fatalf("equal and not-equal: got %v, want UNSAT", got)
+	}
+}
+
+func TestEncodedOutputsHelper(t *testing.T) {
+	c := circuit.New("h")
+	a := c.AddInput("a")
+	g := c.MustGate("g", circuit.Not, a)
+	c.MarkOutput(g)
+	s := sat.New()
+	e := NewEncoder(s)
+	lits := e.EncodeCircuit(c)
+	outs := EncodedOutputs(c, lits)
+	if len(outs) != 1 || outs[0] != lits[g] {
+		t.Error("EncodedOutputs wrong")
+	}
+	ins := InputLits(c.Inputs(), lits)
+	if len(ins) != 1 || ins[0] != lits[a] {
+		t.Error("InputLits wrong")
+	}
+}

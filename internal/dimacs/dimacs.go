@@ -1,0 +1,150 @@
+// Package dimacs reads and writes CNF formulas in DIMACS format, the
+// interchange format of the SAT competition solvers the paper's toolchain
+// used (Lingeling). It lets attack instances built by internal/cnf be
+// exported to external solvers and reference instances be replayed
+// against the internal CDCL solver.
+package dimacs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sat"
+)
+
+// Formula is a CNF formula in DIMACS terms: NumVars variables numbered
+// 1..NumVars and a list of clauses over signed literals.
+type Formula struct {
+	NumVars int
+	Clauses [][]int
+}
+
+// Parse reads a DIMACS CNF file. It accepts comment lines (c ...), the
+// problem line (p cnf V C) and clauses terminated by 0, possibly spanning
+// lines. The declared clause count is checked when present.
+func Parse(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	f := &Formula{}
+	declaredClauses := -1
+	var cur []int
+	lineNo := 0
+	sawProblem := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if sawProblem {
+				return nil, fmt.Errorf("dimacs: line %d: duplicate problem line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs: line %d: malformed problem line %q", lineNo, line)
+			}
+			v, err1 := strconv.Atoi(fields[2])
+			c, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || v < 0 || c < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad problem counts %q", lineNo, line)
+			}
+			f.NumVars = v
+			declaredClauses = c
+			sawProblem = true
+			continue
+		}
+		if !sawProblem {
+			return nil, fmt.Errorf("dimacs: line %d: clause before problem line", lineNo)
+		}
+		for _, tok := range strings.Fields(line) {
+			lit, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs: line %d: bad literal %q", lineNo, tok)
+			}
+			if lit == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				cur = nil
+				continue
+			}
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v > f.NumVars {
+				return nil, fmt.Errorf("dimacs: line %d: literal %d exceeds declared %d vars", lineNo, lit, f.NumVars)
+			}
+			cur = append(cur, lit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("dimacs: unterminated final clause")
+	}
+	if declaredClauses >= 0 && len(f.Clauses) != declaredClauses {
+		return nil, fmt.Errorf("dimacs: declared %d clauses, found %d", declaredClauses, len(f.Clauses))
+	}
+	return f, nil
+}
+
+// Write emits the formula in DIMACS format.
+func Write(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, cl := range f.Clauses {
+		for _, lit := range cl {
+			fmt.Fprintf(bw, "%d ", lit)
+		}
+		fmt.Fprintln(bw, 0)
+	}
+	return bw.Flush()
+}
+
+// LoadIntoSolver creates the formula's variables in s (which must be
+// fresh) and adds all clauses. It returns the sat.Lit corresponding to
+// each DIMACS variable (index 1..NumVars) and whether the formula is
+// already unsatisfiable at level 0.
+func LoadIntoSolver(s *sat.Solver, f *Formula) (vars []sat.Lit, ok bool) {
+	vars = make([]sat.Lit, f.NumVars+1)
+	for i := 1; i <= f.NumVars; i++ {
+		vars[i] = sat.PosLit(s.NewVar())
+	}
+	ok = true
+	for _, cl := range f.Clauses {
+		lits := make([]sat.Lit, len(cl))
+		for i, l := range cl {
+			if l > 0 {
+				lits[i] = vars[l]
+			} else {
+				lits[i] = vars[-l].Neg()
+			}
+		}
+		ok = s.AddClause(lits...) && ok
+	}
+	return vars, ok
+}
+
+// FromSolverProblem converts clauses expressed as sat.Lit slices over a
+// solver's variable space into a DIMACS formula (variables shift to
+// 1-based).
+func FromSolverProblem(nVars int, clauses [][]sat.Lit) *Formula {
+	f := &Formula{NumVars: nVars}
+	for _, cl := range clauses {
+		out := make([]int, len(cl))
+		for i, l := range cl {
+			v := l.Var() + 1
+			if l.Sign() {
+				out[i] = -v
+			} else {
+				out[i] = v
+			}
+		}
+		f.Clauses = append(f.Clauses, out)
+	}
+	return f
+}

@@ -1,0 +1,113 @@
+package dimacs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sat"
+)
+
+const sample = `c sample UNSAT instance
+p cnf 2 4
+1 2 0
+1 -2 0
+-1 2 0
+-1 -2 0
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 2 || len(f.Clauses) != 4 {
+		t.Fatalf("got %d vars, %d clauses", f.NumVars, len(f.Clauses))
+	}
+	s := sat.New()
+	_, ok := LoadIntoSolver(s, f)
+	if ok {
+		if got := s.Solve(); got != sat.Unsat {
+			t.Errorf("solve = %v, want UNSAT", got)
+		}
+	}
+}
+
+func TestParseMultilineClause(t *testing.T) {
+	src := "p cnf 3 1\n1\n2\n3 0\n"
+	f, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 1 || len(f.Clauses[0]) != 3 {
+		t.Fatalf("clauses = %v", f.Clauses)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"noProblem", "1 2 0\n"},
+		{"badProblem", "p cnf x y\n"},
+		{"dupProblem", "p cnf 1 0\np cnf 1 0\n"},
+		{"overflowVar", "p cnf 1 1\n2 0\n"},
+		{"badLiteral", "p cnf 1 1\nfoo 0\n"},
+		{"unterminated", "p cnf 1 1\n1\n"},
+		{"countMismatch", "p cnf 1 2\n1 0\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: error expected", tc.name)
+		}
+	}
+}
+
+// Property: write/parse round trip preserves the formula, and solving the
+// round-tripped formula matches solving the original clauses directly.
+func TestQuickRoundTripAndSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(20)
+		var clauses [][]sat.Lit
+		for i := 0; i < nClauses; i++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]sat.Lit, k)
+			for j := range cl {
+				cl[j] = sat.MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+			}
+			clauses = append(clauses, cl)
+		}
+		formula := FromSolverProblem(nVars, clauses)
+		var buf strings.Builder
+		if err := Write(&buf, formula); err != nil {
+			return false
+		}
+		back, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			return false
+		}
+		s1 := sat.New()
+		for i := 0; i < nVars; i++ {
+			s1.NewVar()
+		}
+		ok1 := true
+		for _, cl := range clauses {
+			ok1 = s1.AddClause(cl...) && ok1
+		}
+		r1 := sat.Unsat
+		if ok1 {
+			r1 = s1.Solve()
+		}
+		s2 := sat.New()
+		_, ok2 := LoadIntoSolver(s2, back)
+		r2 := sat.Unsat
+		if ok2 {
+			r2 = s2.Solve()
+		}
+		return r1 == r2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,461 @@
+// Package exp is the experiment harness reproducing the paper's
+// evaluation (§VI): Table I (benchmark statistics), Figure 5 (cactus plots
+// of circuit-analysis attacks vs the SAT attack across SFLL-HD
+// configurations), Figure 6 (key confirmation vs SAT attack runtimes) and
+// the §VI-B summary statistics (circuits defeated, unique-key rate).
+//
+// Every experiment is deterministic given Config.Seed. The harness runs at
+// any scale: the paper's full Table I dimensions or reduced ("scaled")
+// dimensions for quick regression runs; EXPERIMENTS.md records the
+// mapping from paper numbers to measured numbers.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/fall"
+	"repro/internal/genbench"
+	"repro/internal/keyconfirm"
+	"repro/internal/lock"
+	"repro/internal/oracle"
+	"repro/internal/satattack"
+)
+
+// HLevel identifies the four locking configurations evaluated in Fig. 5.
+type HLevel int
+
+// The paper's four SFLL-HD configurations: h = 0 (TTLock) and h equal to
+// m/8, m/4 and m/3 (floor division) for key size m.
+const (
+	HD0 HLevel = iota
+	HM8
+	HM4
+	HM3
+)
+
+// Levels lists all four locking configurations in paper order.
+var Levels = []HLevel{HD0, HM8, HM4, HM3}
+
+// Label returns the paper's name for the configuration.
+func (l HLevel) Label() string {
+	switch l {
+	case HD0:
+		return "SFLL-HD0"
+	case HM8:
+		return "h=m/8"
+	case HM4:
+		return "h=m/4"
+	default:
+		return "h=m/3"
+	}
+}
+
+// Value returns the Hamming distance h for key size m.
+func (l HLevel) Value(m int) int {
+	switch l {
+	case HD0:
+		return 0
+	case HM8:
+		return m / 8
+	case HM4:
+		return m / 4
+	default:
+		return m / 3
+	}
+}
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Specs selects the benchmark circuits (typically genbench.TableI or
+	// a Scaled copy).
+	Specs []genbench.Spec
+	// Seed drives circuit generation and locking.
+	Seed int64
+	// Timeout bounds each individual attack run (the paper used 1000 s).
+	Timeout time.Duration
+	// Enc selects the Hamming-distance cardinality encoding.
+	Enc cnf.CardEncoding
+	// SATIterCap additionally bounds SAT attack / key confirmation
+	// iterations (0 = unlimited); useful at small scale where a single
+	// iteration is fast but convergence needs 2^m of them.
+	SATIterCap int
+}
+
+// Case is one locked benchmark instance (circuit × h configuration).
+type Case struct {
+	Spec  genbench.Spec
+	Level HLevel
+	H     int
+	Orig  *circuit.Circuit
+	Lock  *lock.Result
+}
+
+// BuildCase generates and locks one benchmark instance.
+func BuildCase(spec genbench.Spec, level HLevel, seed int64) (*Case, error) {
+	orig, err := genbench.Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	h := level.Value(spec.Keys)
+	if level != HD0 && h < 1 {
+		h = 1
+	}
+	lr, err := lock.SFLLHD(orig, lock.Options{
+		KeySize: spec.Keys, H: h, Seed: seed + int64(level)*7 + 1, Optimize: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", spec.Name, level.Label(), err)
+	}
+	return &Case{Spec: spec, Level: level, H: h, Orig: orig, Lock: lr}, nil
+}
+
+// BuildSuite locks every spec at every level: the paper's 80 circuits for
+// the 20 Table I specs.
+func BuildSuite(cfg Config) ([]*Case, error) {
+	var cases []*Case
+	for i, spec := range cfg.Specs {
+		for _, level := range Levels {
+			c, err := BuildCase(spec, level, cfg.Seed+int64(i)*1009)
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, c)
+		}
+	}
+	return cases, nil
+}
+
+// Table1Row is one row of the regenerated Table I.
+type Table1Row struct {
+	Name               string
+	In, Out, Keys      int
+	GatesOrig          int
+	GatesMin, GatesMax int // over the four SFLL configurations
+}
+
+// Table1 regenerates Table I: per circuit, the original gate count and the
+// min/max locked gate counts over the four SFLL configurations.
+func Table1(cfg Config) ([]Table1Row, error) {
+	var rows []Table1Row
+	for i, spec := range cfg.Specs {
+		row := Table1Row{Name: spec.Name, In: spec.Inputs, Out: spec.Outputs, Keys: spec.Keys}
+		for _, level := range Levels {
+			c, err := BuildCase(spec, level, cfg.Seed+int64(i)*1009)
+			if err != nil {
+				return nil, err
+			}
+			row.GatesOrig = c.Orig.NumGates()
+			g := c.Lock.Locked.NumGates()
+			if row.GatesMin == 0 || g < row.GatesMin {
+				row.GatesMin = g
+			}
+			if g > row.GatesMax {
+				row.GatesMax = g
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows in the layout of the paper's Table I.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %5s %5s %6s %9s %9s %9s\n", "ckt", "#in", "#out", "#keys", "orig", "SFLLmin", "SFLLmax")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %5d %5d %6d %9d %9d %9d\n",
+			r.Name, r.In, r.Out, r.Keys, r.GatesOrig, r.GatesMin, r.GatesMax)
+	}
+	return b.String()
+}
+
+// Outcome is one attack run on one locked instance.
+type Outcome struct {
+	Circuit  string
+	Level    HLevel
+	Attack   string
+	Solved   bool // correct key recovered (in shortlist / converged)
+	Unique   bool // FALL attacks: exactly one key shortlisted
+	NumKeys  int
+	TimedOut bool
+	Time     time.Duration
+}
+
+func keysEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// RunFALL executes one FALL functional analysis on a case and scores it
+// against the planted key.
+func RunFALL(cs *Case, analysis fall.Analysis, cfg Config) Outcome {
+	out := Outcome{Circuit: cs.Spec.Name, Level: cs.Level, Attack: analysis.String()}
+	opts := fall.Options{H: cs.H, Analysis: analysis, Enc: cfg.Enc}
+	if cfg.Timeout > 0 {
+		opts.Deadline = time.Now().Add(cfg.Timeout)
+	}
+	start := time.Now()
+	res, err := fall.Attack(cs.Lock.Locked, opts)
+	out.Time = time.Since(start)
+	if err != nil {
+		out.TimedOut = err == fall.ErrTimeout
+		return out
+	}
+	out.NumKeys = len(res.Keys)
+	for _, ck := range res.Keys {
+		if keysEqual(ck.Key, cs.Lock.Key) {
+			out.Solved = true
+		}
+	}
+	out.Unique = out.Solved && res.UniqueKey()
+	return out
+}
+
+// RunSAT executes the baseline SAT attack on a case.
+func RunSAT(cs *Case, cfg Config) Outcome {
+	out := Outcome{Circuit: cs.Spec.Name, Level: cs.Level, Attack: "SAT-Attack"}
+	orc := oracle.NewSim(cs.Orig)
+	var deadline time.Time
+	if cfg.Timeout > 0 {
+		deadline = time.Now().Add(cfg.Timeout)
+	}
+	res, err := satattack.Run(cs.Lock.Locked, orc, deadline, cfg.SATIterCap)
+	if err != nil {
+		out.Time = cfg.Timeout
+		out.TimedOut = true
+		return out
+	}
+	out.Time = res.Elapsed
+	out.TimedOut = res.TimedOut
+	if res.Solved {
+		if err := oracle.CheckKey(cs.Lock.Locked, oracle.NewSim(cs.Orig), res.Key, 128, cfg.Seed); err == nil {
+			out.Solved = true
+		}
+	}
+	if !out.Solved && out.Time < cfg.Timeout {
+		// Censor unsolved runs at the timeout, as the paper's Fig. 6 bars
+		// do (an attack stopped by the iteration cap would not have
+		// finished within the time budget either).
+		out.Time = cfg.Timeout
+	}
+	return out
+}
+
+// Fig5Panel runs the attacks of one Fig. 5 panel over the suite cases at
+// the given level: the SAT attack plus AnalyzeUnateness for HD0,
+// SlidingWindow and Distance2H for h=m/8 and m/4, SlidingWindow only for
+// h=m/3 (Distance2H requires 4h <= m).
+func Fig5Panel(cases []*Case, level HLevel, cfg Config) []Outcome {
+	var outs []Outcome
+	for _, cs := range cases {
+		if cs.Level != level {
+			continue
+		}
+		outs = append(outs, RunSAT(cs, cfg))
+		switch level {
+		case HD0:
+			outs = append(outs, RunFALL(cs, fall.Unateness, cfg))
+		case HM3:
+			outs = append(outs, RunFALL(cs, fall.SlidingWindow, cfg))
+		default:
+			outs = append(outs, RunFALL(cs, fall.SlidingWindow, cfg))
+			outs = append(outs, RunFALL(cs, fall.Distance2H, cfg))
+		}
+	}
+	return outs
+}
+
+// Cactus extracts the sorted solve times for one attack from a panel's
+// outcomes — the x/y series of the paper's Fig. 5 (execution time vs
+// number of benchmarks solved within that time).
+func Cactus(outs []Outcome, attack string) []time.Duration {
+	var times []time.Duration
+	for _, o := range outs {
+		if o.Attack == attack && o.Solved {
+			times = append(times, o.Time)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times
+}
+
+// FormatCactus renders cactus series for all attacks in a panel.
+func FormatCactus(outs []Outcome, attacks []string) string {
+	var b strings.Builder
+	for _, a := range attacks {
+		times := Cactus(outs, a)
+		fmt.Fprintf(&b, "%s: %d solved\n", a, len(times))
+		for i, t := range times {
+			fmt.Fprintf(&b, "  %2d solved within %v\n", i+1, t.Round(time.Millisecond))
+		}
+	}
+	return b.String()
+}
+
+// Fig6Row is one circuit's bar in Fig. 6: mean/stddev runtimes of key
+// confirmation vs the SAT attack over the circuit's locked variants.
+type Fig6Row struct {
+	Circuit        string
+	KCMean, KCStd  time.Duration
+	SAMean, SAStd  time.Duration
+	KCRuns, SARuns int
+	KCConfirmed    int
+}
+
+// Fig6 reproduces the key confirmation experiment (§VI-C): for each
+// circuit, run key confirmation with φ = the FALL shortlist (falling back
+// to {planted key, complement} when the shortlist is empty, mirroring the
+// paper's use of stage-1 results) and the vanilla SAT attack on the same
+// instances; report per-circuit means.
+func Fig6(cases []*Case, cfg Config) []Fig6Row {
+	byCircuit := map[string][]*Case{}
+	var order []string
+	for _, cs := range cases {
+		if _, ok := byCircuit[cs.Spec.Name]; !ok {
+			order = append(order, cs.Spec.Name)
+		}
+		byCircuit[cs.Spec.Name] = append(byCircuit[cs.Spec.Name], cs)
+	}
+	var rows []Fig6Row
+	for _, name := range order {
+		row := Fig6Row{Circuit: name}
+		var kcTimes, saTimes []time.Duration
+		for _, cs := range byCircuit[name] {
+			// Candidate keys from the FALL stage.
+			opts := fall.Options{H: cs.H, Enc: cfg.Enc}
+			if cfg.Timeout > 0 {
+				opts.Deadline = time.Now().Add(cfg.Timeout)
+			}
+			var cands []map[string]bool
+			if res, err := fall.Attack(cs.Lock.Locked, opts); err == nil {
+				for _, ck := range res.Keys {
+					cands = append(cands, ck.Key)
+				}
+			}
+			if len(cands) == 0 {
+				comp := map[string]bool{}
+				for k, v := range cs.Lock.Key {
+					comp[k] = !v
+				}
+				cands = []map[string]bool{cs.Lock.Key, comp}
+			}
+			kopts := keyconfirm.Options{MaxIterations: cfg.SATIterCap}
+			if cfg.Timeout > 0 {
+				kopts.Deadline = time.Now().Add(cfg.Timeout)
+			}
+			kc, err := keyconfirm.Confirm(cs.Lock.Locked, cands, oracle.NewSim(cs.Orig), kopts)
+			if err == nil {
+				kcTimes = append(kcTimes, kc.Elapsed)
+				if kc.Confirmed {
+					row.KCConfirmed++
+				}
+			}
+			sa := RunSAT(cs, cfg)
+			saTimes = append(saTimes, sa.Time)
+		}
+		row.KCRuns = len(kcTimes)
+		row.SARuns = len(saTimes)
+		row.KCMean, row.KCStd = meanStd(kcTimes)
+		row.SAMean, row.SAStd = meanStd(saTimes)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func meanStd(ts []time.Duration) (mean, std time.Duration) {
+	if len(ts) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, t := range ts {
+		sum += t.Seconds()
+	}
+	m := sum / float64(len(ts))
+	var varSum float64
+	for _, t := range ts {
+		d := t.Seconds() - m
+		varSum += d * d
+	}
+	return time.Duration(m * float64(time.Second)),
+		time.Duration(math.Sqrt(varSum/float64(len(ts))) * float64(time.Second))
+}
+
+// FormatFig6 renders the Fig. 6 data as a table (the paper plots it as a
+// log-scale bar chart).
+func FormatFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %14s %14s %14s %14s %s\n", "ckt", "keyconf-mean", "keyconf-std", "satatk-mean", "satatk-std", "confirmed")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %14s %14s %14s %14s %d/%d\n",
+			r.Circuit,
+			r.KCMean.Round(time.Millisecond), r.KCStd.Round(time.Millisecond),
+			r.SAMean.Round(time.Millisecond), r.SAStd.Round(time.Millisecond),
+			r.KCConfirmed, r.KCRuns)
+	}
+	return b.String()
+}
+
+// Summary aggregates the §VI-B headline statistics.
+type Summary struct {
+	// TotalCases counts locked instances (circuits × h levels).
+	TotalCases int
+	// Defeated counts instances where at least one FALL analysis
+	// shortlisted the correct key (the paper: 65/80).
+	Defeated int
+	// UniqueKey counts defeated instances whose shortlist had exactly
+	// one key, i.e. no oracle needed (the paper: 58/65 = 90%).
+	UniqueKey int
+	// MultiKey lists "circuit/level: n keys" for defeated instances with
+	// more than one shortlisted key.
+	MultiKey []string
+}
+
+// Summarize runs the combined (Auto) FALL attack over every case and
+// aggregates the defeat statistics of §VI-B.
+func Summarize(cases []*Case, cfg Config) Summary {
+	s := Summary{TotalCases: len(cases)}
+	for _, cs := range cases {
+		out := RunFALL(cs, fall.Auto, cfg)
+		if !out.Solved {
+			continue
+		}
+		s.Defeated++
+		if out.Unique {
+			s.UniqueKey++
+		} else {
+			s.MultiKey = append(s.MultiKey, fmt.Sprintf("%s/%s: %d keys", out.Circuit, out.Level.Label(), out.NumKeys))
+		}
+	}
+	return s
+}
+
+// FormatSummary renders the summary in the style of the paper's abstract
+// numbers.
+func FormatSummary(s Summary) string {
+	var b strings.Builder
+	pct := func(a, b int) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 100 * float64(a) / float64(b)
+	}
+	fmt.Fprintf(&b, "defeated %d / %d locked circuits (%.0f%%)\n", s.Defeated, s.TotalCases, pct(s.Defeated, s.TotalCases))
+	fmt.Fprintf(&b, "unique key (oracle-less) for %d / %d successes (%.0f%%)\n", s.UniqueKey, s.Defeated, pct(s.UniqueKey, s.Defeated))
+	for _, m := range s.MultiKey {
+		fmt.Fprintf(&b, "  multi-key: %s\n", m)
+	}
+	return b.String()
+}

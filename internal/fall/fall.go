@@ -1,0 +1,812 @@
+// Package fall implements the Functional Analysis attacks on Logic
+// Locking (FALL) from Sirone & Subramanyan, DATE 2019. The attack has
+// three structural/functional stages (paper Fig. 4):
+//
+//  1. Comparator identification (§III-A): find gates equivalent to
+//     XOR/XNOR of one circuit input and one key input, recovering the
+//     pairing between key bits and protected inputs.
+//  2. Support-set matching (§III-B): shortlist candidate cube-stripper
+//     gates, whose support equals the comparator circuit-input set.
+//  3. Functional analyses (§IV): AnalyzeUnateness (Lemma 1, TTLock),
+//     SlidingWindow (Lemma 3) and Distance2H (Lemma 2) extract the
+//     protected cube from a candidate gate; combinational equivalence
+//     checking (§IV-C) ensures sufficiency.
+//
+// The output is a shortlist of suspected keys. When more than one key
+// survives, the key confirmation algorithm (internal/keyconfirm, paper §V)
+// picks the correct one using I/O oracle access.
+package fall
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// ErrTimeout is returned when an analysis exceeds its deadline.
+var ErrTimeout = errors.New("fall: analysis timed out")
+
+// Analysis selects which functional analysis drives the attack.
+type Analysis int
+
+// Available functional analyses. Auto picks AnalyzeUnateness for h = 0,
+// Distance2H when 4h <= m, and SlidingWindow otherwise (the paper's
+// applicability conditions).
+const (
+	Auto Analysis = iota
+	Unateness
+	SlidingWindow
+	Distance2H
+)
+
+func (a Analysis) String() string {
+	switch a {
+	case Unateness:
+		return "AnalyzeUnateness"
+	case SlidingWindow:
+		return "SlidingWindow"
+	case Distance2H:
+		return "Distance2H"
+	default:
+		return "Auto"
+	}
+}
+
+// Options configures an attack run.
+type Options struct {
+	// H is the (known) Hamming distance parameter of the locking scheme.
+	H int
+	// Analysis selects the functional analysis; Auto applies the paper's
+	// applicability rules.
+	Analysis Analysis
+	// Enc selects the cardinality encoding for Hamming-distance
+	// constraints.
+	Enc cnf.CardEncoding
+	// Deadline bounds the attack wall-clock time; zero means none.
+	Deadline time.Time
+	// DisableSimPrefilter turns off the random-simulation pre-filter in
+	// the unateness analysis (ablation knob; the SAT queries alone are
+	// exact).
+	DisableSimPrefilter bool
+	// DisableDensityFilter turns off the onset-density candidate
+	// pre-filter (ablation knob). The filter skips candidate nodes whose
+	// sampled on-set density is far above C(m,h)/2^m, the density of a
+	// true cube stripper — e.g. popcount sum bits, which share the
+	// stripper's support but are parity-like and make the SAT lemma
+	// checks exponentially hard. The margin is wide enough that
+	// rejecting a true stripper has negligible probability (see
+	// densityFilter).
+	DisableDensityFilter bool
+}
+
+// Comparator records one identified comparator gate: node computes
+// XNOR(Input, Key) when Xnor is true, XOR(Input, Key) otherwise.
+type Comparator struct {
+	Node  int
+	Input int
+	Key   int
+	Xnor  bool
+}
+
+// CandidateKey is one suspected key produced by the functional analyses.
+type CandidateKey struct {
+	// Key maps key-input names to suspected values.
+	Key map[string]bool
+	// Cube maps protected-input names to the recovered cube values.
+	Cube map[string]bool
+	// Node is the candidate cube-stripper node the cube was extracted
+	// from; Negated records whether its complement was analyzed.
+	Node    int
+	Negated bool
+	// Analysis names the functional analysis that produced the cube.
+	Analysis string
+}
+
+// Signature returns a canonical string for deduplication.
+func (k *CandidateKey) Signature() string {
+	names := make([]string, 0, len(k.Key))
+	for n := range k.Key {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	sig := make([]byte, 0, len(names))
+	for _, n := range names {
+		if k.Key[n] {
+			sig = append(sig, '1')
+		} else {
+			sig = append(sig, '0')
+		}
+	}
+	return string(sig)
+}
+
+// Result reports the outcome of the FALL structural/functional stages.
+type Result struct {
+	Comparators []Comparator
+	// CompX is the set of circuit-input node ids appearing in
+	// comparators, sorted.
+	CompX []int
+	// Candidates are node ids surviving support-set matching.
+	Candidates []int
+	// Keys are the deduplicated suspected keys that passed equivalence
+	// checking.
+	Keys []CandidateKey
+	// Timing per stage.
+	ComparatorTime time.Duration
+	MatchTime      time.Duration
+	AnalysisTime   time.Duration
+	Total          time.Duration
+}
+
+// UniqueKey reports whether exactly one suspected key was found, in which
+// case the attack needed no oracle access.
+func (r *Result) UniqueKey() bool { return len(r.Keys) == 1 }
+
+// bitset is a fixed-size bit vector over input indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+func (b bitset) indices() []int {
+	var out []int
+	for wi, w := range b {
+		for w != 0 {
+			out = append(out, wi*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// supports computes, for every node, the set of inputs in its transitive
+// fanin cone, as bitsets over input index. It returns the bitsets plus the
+// input id list defining the index space.
+func supports(c *circuit.Circuit) ([]bitset, []int) {
+	inputs := c.Inputs()
+	idx := make(map[int]int, len(inputs))
+	for i, id := range inputs {
+		idx[id] = i
+	}
+	sup := make([]bitset, c.Len())
+	for id := range c.Nodes {
+		b := newBitset(len(inputs))
+		n := &c.Nodes[id]
+		if n.Type == circuit.Input {
+			b.set(idx[id])
+		} else {
+			for _, f := range n.Fanins {
+				b.or(sup[f])
+			}
+		}
+		sup[id] = b
+	}
+	return sup, inputs
+}
+
+// FindComparators implements comparator identification (§III-A): all gates
+// whose support is exactly one circuit input and one key input and whose
+// function is XOR or XNOR of them. Because the support has exactly two
+// members, the check is exact by 4-pattern cone simulation.
+func FindComparators(c *circuit.Circuit) []Comparator {
+	sup, inputs := supports(c)
+	var comps []Comparator
+	for id := range c.Nodes {
+		if c.Nodes[id].Type == circuit.Input {
+			continue
+		}
+		if sup[id].count() != 2 {
+			continue
+		}
+		pair := sup[id].indices()
+		a, b := inputs[pair[0]], inputs[pair[1]]
+		var pi, key int
+		switch {
+		case c.Nodes[a].IsKey && !c.Nodes[b].IsKey:
+			pi, key = b, a
+		case !c.Nodes[a].IsKey && c.Nodes[b].IsKey:
+			pi, key = a, b
+		default:
+			continue // two PIs or two keys
+		}
+		tt, ok := truthTable2(c, id, pi, key)
+		if !ok {
+			continue
+		}
+		switch tt {
+		case 0b0110: // XOR over (pi,key) pattern order 00,10,01,11
+			comps = append(comps, Comparator{Node: id, Input: pi, Key: key, Xnor: false})
+		case 0b1001:
+			comps = append(comps, Comparator{Node: id, Input: pi, Key: key, Xnor: true})
+		}
+	}
+	return comps
+}
+
+// truthTable2 evaluates node id over the four assignments of (a, b),
+// returning the truth table with bit index (a + 2b).
+func truthTable2(c *circuit.Circuit, id, a, b int) (uint8, bool) {
+	cone, im := c.Cone(id)
+	vals := make([]uint64, cone.Len())
+	for ci, orig := range im {
+		switch orig {
+		case a:
+			vals[ci] = 0b1010 // a = bit0 of pattern index
+		case b:
+			vals[ci] = 0b1100
+		default:
+			return 0, false
+		}
+	}
+	cone.Simulate(vals)
+	return uint8(vals[cone.Outputs[0]] & 0xF), true
+}
+
+// SupportMatch implements support-set matching (§III-B): all non-input
+// nodes whose support equals compX exactly (no key inputs, no missing or
+// extra circuit inputs).
+func SupportMatch(c *circuit.Circuit, compX []int) []int {
+	sup, inputs := supports(c)
+	idx := make(map[int]int, len(inputs))
+	for i, id := range inputs {
+		idx[id] = i
+	}
+	want := newBitset(len(inputs))
+	for _, x := range compX {
+		want.set(idx[x])
+	}
+	var cands []int
+	for id := range c.Nodes {
+		if c.Nodes[id].Type == circuit.Input {
+			continue
+		}
+		if sup[id].equal(want) {
+			cands = append(cands, id)
+		}
+	}
+	return cands
+}
+
+// analysisContext carries a candidate node's extracted cone and SAT
+// encoding state shared by the functional analyses.
+type analysisContext struct {
+	cone     *circuit.Circuit
+	inputMap map[int]int // cone input id -> locked-circuit node id
+	inputs   []int       // cone input ids, sorted
+	neg      bool        // analyze the complement of the cone function
+	opts     *Options
+}
+
+func newAnalysisContext(c *circuit.Circuit, node int, neg bool, opts *Options) (*analysisContext, error) {
+	cone, im := c.Cone(node)
+	ins := cone.Inputs()
+	for _, id := range ins {
+		if cone.Nodes[id].IsKey {
+			return nil, fmt.Errorf("fall: candidate node %d depends on a key input", node)
+		}
+	}
+	return &analysisContext{cone: cone, inputMap: im, inputs: ins, neg: neg, opts: opts}, nil
+}
+
+// densityFilter reports whether the analyzed function's sampled on-set
+// density is consistent with a cube stripper. strip_h has exactly
+// C(m,h) on-minterms out of 2^m; nodes like adder sum bits share the
+// stripper's support but sit near 50% density and are precisely the
+// candidates whose UNSAT lemma proofs blow up. We sample 16384 random
+// patterns and keep the candidate unless its on-count exceeds
+// 16*expected + 64 — a margin so far above the stripper's concentration
+// (Chernoff tail < 2^-50) that the filter is sound in practice.
+func (a *analysisContext) densityFilter(h int) bool {
+	if a.opts.DisableDensityFilter {
+		return true
+	}
+	m := len(a.inputs)
+	// expected on-count among n samples: n * C(m,h) / 2^m, via log2.
+	log2d := -float64(m)
+	for i := 1; i <= h; i++ {
+		log2d += math.Log2(float64(m-h+i)) - math.Log2(float64(i))
+	}
+	const words = 256 // 16384 patterns
+	n := float64(words * 64)
+	expected := n * math.Exp2(log2d)
+	threshold := 16*expected + 64
+	rng := rand.New(rand.NewSource(int64(a.cone.Len())*2654435761 + int64(m)))
+	vals := make([]uint64, a.cone.Len())
+	count := 0.0
+	for w := 0; w < words; w++ {
+		for _, in := range a.inputs {
+			vals[in] = rng.Uint64()
+		}
+		a.cone.Simulate(vals)
+		out := vals[a.cone.Outputs[0]]
+		if a.neg {
+			out = ^out
+		}
+		count += float64(bits.OnesCount64(out))
+		if count > threshold {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *analysisContext) deadlineSolver() *sat.Solver {
+	s := sat.New()
+	if !a.opts.Deadline.IsZero() {
+		s.SetDeadline(a.opts.Deadline)
+	}
+	return s
+}
+
+func (a *analysisContext) expired() bool {
+	return !a.opts.Deadline.IsZero() && time.Now().After(a.opts.Deadline)
+}
+
+// AnalyzeUnateness implements Algorithm 1 (Lemma 1): if the cone function
+// is unate in every input, the protected cube bit for input xi is 1 when
+// positive unate and 0 when negative unate. Returns the cube over the
+// locked circuit's input node ids, or ok=false if the function is binate
+// in any variable.
+func (a *analysisContext) AnalyzeUnateness() (map[int]bool, bool, error) {
+	cube := make(map[int]bool, len(a.inputs))
+	// Simulation pre-filter: find binate witnesses cheaply before SAT.
+	posViol := make(map[int]bool)
+	negViol := make(map[int]bool)
+	if !a.opts.DisableSimPrefilter {
+		rng := rand.New(rand.NewSource(int64(a.cone.Len())*7919 + 13))
+		vals := make([]uint64, a.cone.Len())
+		flip := make([]uint64, a.cone.Len())
+		for round := 0; round < 4; round++ {
+			for _, in := range a.inputs {
+				vals[in] = rng.Uint64()
+			}
+			for _, xi := range a.inputs {
+				copy(flip, vals)
+				flip[xi] = 0
+				a.cone.Simulate(flip)
+				f0 := flip[a.cone.Outputs[0]]
+				copy(flip, vals)
+				flip[xi] = ^uint64(0)
+				a.cone.Simulate(flip)
+				f1 := flip[a.cone.Outputs[0]]
+				if a.neg {
+					f0, f1 = ^f0, ^f1
+				}
+				if f0&^f1 != 0 {
+					posViol[xi] = true
+				}
+				if ^f0&f1 != 0 {
+					negViol[xi] = true
+				}
+				if posViol[xi] && negViol[xi] {
+					return nil, false, nil // binate: witness found
+				}
+			}
+		}
+	}
+	for _, xi := range a.inputs {
+		if a.expired() {
+			return nil, false, ErrTimeout
+		}
+		isPos, err := a.checkUnate(xi, true, posViol[xi])
+		if err != nil {
+			return nil, false, err
+		}
+		if isPos {
+			cube[a.inputMap[xi]] = true
+			continue
+		}
+		isNeg, err := a.checkUnate(xi, false, negViol[xi])
+		if err != nil {
+			return nil, false, err
+		}
+		if isNeg {
+			cube[a.inputMap[xi]] = false
+			continue
+		}
+		return nil, false, nil // binate in xi
+	}
+	return cube, true, nil
+}
+
+// checkUnate proves or refutes unateness of the cone function in xi via a
+// SAT query on two cofactor copies. knownViolated short-circuits with the
+// simulation witness.
+func (a *analysisContext) checkUnate(xi int, positive, knownViolated bool) (bool, error) {
+	if knownViolated {
+		return false, nil
+	}
+	s := a.deadlineSolver()
+	e := cnf.NewEncoder(s)
+	shared := make(map[int]sat.Lit, len(a.inputs))
+	for _, in := range a.inputs {
+		if in != xi {
+			shared[in] = e.NewLit()
+		}
+	}
+	given0 := make(map[int]sat.Lit, len(a.inputs))
+	given1 := make(map[int]sat.Lit, len(a.inputs))
+	for k, v := range shared {
+		given0[k] = v
+		given1[k] = v
+	}
+	given0[xi] = e.ConstLit(false)
+	given1[xi] = e.ConstLit(true)
+	lits0 := e.EncodeCircuitWith(a.cone, given0)
+	lits1 := e.EncodeCircuitWith(a.cone, given1)
+	f0 := lits0[a.cone.Outputs[0]]
+	f1 := lits1[a.cone.Outputs[0]]
+	if a.neg {
+		f0, f1 = f0.Neg(), f1.Neg()
+	}
+	// Positive unate iff no witness of f(xi=0)=1, f(xi=1)=0.
+	if positive {
+		s.AddClause(f0)
+		s.AddClause(f1.Neg())
+	} else {
+		s.AddClause(f0.Neg())
+		s.AddClause(f1)
+	}
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, nil
+	case sat.Sat:
+		return false, nil
+	default:
+		return false, ErrTimeout
+	}
+}
+
+// hdInstance encodes F = cone(X) ∧ cone(X') ∧ HD(X, X') = 2h and returns
+// the solver, the input literal vectors and the difference literals.
+func (a *analysisContext) hdInstance(h int) (*sat.Solver, []sat.Lit, []sat.Lit, []sat.Lit) {
+	s := a.deadlineSolver()
+	e := cnf.NewEncoder(s)
+	lits1 := e.EncodeCircuitWith(a.cone, nil)
+	given2 := make(map[int]sat.Lit)
+	lits2 := e.EncodeCircuitWith(a.cone, given2)
+	xs := cnf.InputLits(a.inputs, lits1)
+	ys := cnf.InputLits(a.inputs, lits2)
+	f1 := lits1[a.cone.Outputs[0]]
+	f2 := lits2[a.cone.Outputs[0]]
+	if a.neg {
+		f1, f2 = f1.Neg(), f2.Neg()
+	}
+	s.AddClause(f1)
+	s.AddClause(f2)
+	ds := e.XorPairs(xs, ys)
+	e.ExactlyK(ds, 2*h, a.opts.Enc)
+	return s, xs, ys, ds
+}
+
+// SlidingWindowAnalysis implements Algorithm 2 (Lemma 3). It returns the
+// recovered cube over locked-circuit input ids, ok=false if the node is
+// inconsistent with a cube stripper, or an error on timeout.
+func (a *analysisContext) SlidingWindowAnalysis(h int) (map[int]bool, bool, error) {
+	s, xs, ys, ds := a.hdInstance(h)
+	switch s.Solve() {
+	case sat.Unsat:
+		return nil, false, nil
+	case sat.Unknown:
+		return nil, false, ErrTimeout
+	}
+	cube := make(map[int]bool, len(a.inputs))
+	type pending struct {
+		i      int
+		mi, mj bool
+	}
+	var todo []pending
+	for i, xi := range a.inputs {
+		mi := s.LitTrue(xs[i])
+		mj := s.LitTrue(ys[i])
+		if mi == mj {
+			cube[a.inputMap[xi]] = mi
+		} else {
+			todo = append(todo, pending{i, mi, mj})
+		}
+	}
+	for _, p := range todo {
+		if a.expired() {
+			return nil, false, ErrTimeout
+		}
+		// Lemma 3: exactly one of xi=x'i=mi, xi=x'i=m'i is satisfiable,
+		// and that value is the key bit.
+		ri := s.SolveAssuming([]sat.Lit{ds[p.i].Neg(), litWithValue(xs[p.i], p.mi)})
+		if ri == sat.Unknown {
+			return nil, false, ErrTimeout
+		}
+		rj := s.SolveAssuming([]sat.Lit{ds[p.i].Neg(), litWithValue(xs[p.i], p.mj)})
+		if rj == sat.Unknown {
+			return nil, false, ErrTimeout
+		}
+		switch {
+		case ri == sat.Sat && rj == sat.Unsat:
+			cube[a.inputMap[a.inputs[p.i]]] = p.mi
+		case ri == sat.Unsat && rj == sat.Sat:
+			cube[a.inputMap[a.inputs[p.i]]] = p.mj
+		default:
+			return nil, false, nil
+		}
+	}
+	return cube, true, nil
+}
+
+// Distance2HAnalysis implements Algorithm 3 (Lemma 2), applicable when
+// 4h <= m: two satisfying pairs at distance 2h determine all key bits.
+func (a *analysisContext) Distance2HAnalysis(h int) (map[int]bool, bool, error) {
+	s, xs, ys, ds := a.hdInstance(h)
+	switch s.Solve() {
+	case sat.Unsat:
+		return nil, false, nil
+	case sat.Unknown:
+		return nil, false, ErrTimeout
+	}
+	cube := make(map[int]bool, len(a.inputs))
+	var cnst []sat.Lit
+	var open []int // indices not fixed by the first model
+	for i, xi := range a.inputs {
+		mi := s.LitTrue(xs[i])
+		mj := s.LitTrue(ys[i])
+		if mi == mj {
+			cube[a.inputMap[xi]] = mi
+		} else {
+			cnst = append(cnst, ds[i].Neg())
+			open = append(open, i)
+		}
+	}
+	if len(open) > 0 {
+		switch s.SolveAssuming(cnst) {
+		case sat.Unsat:
+			return nil, false, nil
+		case sat.Unknown:
+			return nil, false, ErrTimeout
+		}
+		for i, xi := range a.inputs {
+			mi := s.LitTrue(xs[i])
+			mj := s.LitTrue(ys[i])
+			if mi != mj {
+				continue
+			}
+			orig := a.inputMap[xi]
+			if prev, done := cube[orig]; done {
+				if prev != mi {
+					return nil, false, nil // inconsistent with Lemma 2
+				}
+				continue
+			}
+			cube[orig] = mi
+		}
+	}
+	if len(cube) != len(a.inputs) {
+		return nil, false, nil // some bit never agreed; not a stripper
+	}
+	return cube, true, nil
+}
+
+func litWithValue(l sat.Lit, v bool) sat.Lit {
+	if v {
+		return l
+	}
+	return l.Neg()
+}
+
+// EquivalenceCheck implements §IV-C: verify cktfn == strip_h(cube) by a
+// miter between the cone and a reference Hamming-distance comparator. The
+// lemmas are necessary conditions only; this check makes them sufficient.
+func (a *analysisContext) EquivalenceCheck(cube map[int]bool, h int) (bool, error) {
+	s := a.deadlineSolver()
+	e := cnf.NewEncoder(s)
+	lits := e.EncodeCircuitWith(a.cone, nil)
+	f := lits[a.cone.Outputs[0]]
+	if a.neg {
+		f = f.Neg()
+	}
+	// Reference strip_h(cube)(X): popcount of x_i XOR cube_i equals h.
+	ds := make([]sat.Lit, len(a.inputs))
+	for i, xi := range a.inputs {
+		ds[i] = lits[xi]
+		if cube[a.inputMap[xi]] {
+			ds[i] = ds[i].Neg()
+		}
+	}
+	bitsv := e.Popcount(ds)
+	cmp := make([]sat.Lit, len(bitsv))
+	for j, b := range bitsv {
+		if h&(1<<uint(j)) != 0 {
+			cmp[j] = b
+		} else {
+			cmp[j] = b.Neg()
+		}
+	}
+	if h>>uint(len(bitsv)) != 0 {
+		return false, nil // h exceeds representable count: not equivalent
+	}
+	ref := e.And(cmp...)
+	s.AddClause(e.Xor(f, ref)) // miter: SAT iff not equivalent
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, nil
+	case sat.Sat:
+		return false, nil
+	default:
+		return false, ErrTimeout
+	}
+}
+
+// Attack runs the full FALL pipeline on a locked netlist and returns the
+// shortlisted keys. The locked circuit's key inputs must be marked (IsKey)
+// and h must match the locking parameter (known to the adversary, §II-A).
+func Attack(locked *circuit.Circuit, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+
+	t0 := time.Now()
+	res.Comparators = FindComparators(locked)
+	res.ComparatorTime = time.Since(t0)
+	if len(res.Comparators) == 0 {
+		res.Total = time.Since(start)
+		return res, nil
+	}
+
+	t0 = time.Now()
+	seen := map[int]bool{}
+	for _, cp := range res.Comparators {
+		if !seen[cp.Input] {
+			seen[cp.Input] = true
+			res.CompX = append(res.CompX, cp.Input)
+		}
+	}
+	sort.Ints(res.CompX)
+	res.Candidates = SupportMatch(locked, res.CompX)
+	res.MatchTime = time.Since(t0)
+
+	m := len(res.CompX)
+	pairing := buildPairing(locked, res.Comparators)
+
+	t0 = time.Now()
+	defer func() {
+		res.AnalysisTime = time.Since(t0)
+		res.Total = time.Since(start)
+	}()
+
+	sigs := map[string]bool{}
+	for _, cand := range res.Candidates {
+		for _, neg := range []bool{false, true} {
+			if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+				return res, ErrTimeout
+			}
+			ctx, err := newAnalysisContext(locked, cand, neg, &opts)
+			if err != nil {
+				continue
+			}
+			if !ctx.densityFilter(opts.H) {
+				continue
+			}
+			cube, ok, algo, err := runAnalysis(ctx, m, opts)
+			if err != nil {
+				return res, err
+			}
+			if !ok {
+				continue
+			}
+			okEq, err := ctx.EquivalenceCheck(cube, opts.H)
+			if err != nil {
+				return res, err
+			}
+			if !okEq {
+				continue
+			}
+			ck := cubeToKey(locked, cube, pairing)
+			ck.Node = cand
+			ck.Negated = neg
+			ck.Analysis = algo
+			if sig := ck.Signature(); !sigs[sig] {
+				sigs[sig] = true
+				res.Keys = append(res.Keys, ck)
+			}
+		}
+	}
+	return res, nil
+}
+
+func runAnalysis(ctx *analysisContext, m int, opts Options) (map[int]bool, bool, string, error) {
+	an := opts.Analysis
+	if an == Auto {
+		switch {
+		case opts.H == 0:
+			an = Unateness
+		case 4*opts.H <= m:
+			an = Distance2H
+		default:
+			an = SlidingWindow
+		}
+	}
+	switch an {
+	case Unateness:
+		cube, ok, err := ctx.AnalyzeUnateness()
+		return cube, ok, "AnalyzeUnateness", err
+	case SlidingWindow:
+		cube, ok, err := ctx.SlidingWindowAnalysis(opts.H)
+		return cube, ok, "SlidingWindow", err
+	case Distance2H:
+		if 4*opts.H > m {
+			return nil, false, "Distance2H", nil // inapplicable (paper §IV-B3)
+		}
+		cube, ok, err := ctx.Distance2HAnalysis(opts.H)
+		return cube, ok, "Distance2H", err
+	}
+	return nil, false, "", fmt.Errorf("fall: unknown analysis %v", opts.Analysis)
+}
+
+// pairEntry resolves the key input paired with a circuit input, with the
+// comparator polarity. XNOR comparators are preferred when both polarities
+// of the same pair appear in the netlist (the complement edge of an XNOR
+// AIG node is an XOR node).
+type pairEntry struct {
+	key  int
+	xnor bool
+	rank int
+}
+
+func buildPairing(c *circuit.Circuit, comps []Comparator) map[int]pairEntry {
+	pairing := make(map[int]pairEntry)
+	for _, cp := range comps {
+		cur, exists := pairing[cp.Input]
+		switch {
+		case !exists:
+			pairing[cp.Input] = pairEntry{key: cp.Key, xnor: cp.Xnor, rank: cp.Node}
+		case !cur.xnor && cp.Xnor:
+			pairing[cp.Input] = pairEntry{key: cp.Key, xnor: true, rank: cp.Node}
+		}
+	}
+	return pairing
+}
+
+// cubeToKey translates a recovered protected cube into a key assignment
+// using the comparator pairing. With XNOR comparators the key bit equals
+// the cube bit; with XOR comparators it is inverted (§III-A's z).
+func cubeToKey(c *circuit.Circuit, cube map[int]bool, pairing map[int]pairEntry) CandidateKey {
+	ck := CandidateKey{
+		Key:  make(map[string]bool),
+		Cube: make(map[string]bool),
+	}
+	for pi, v := range cube {
+		ck.Cube[c.Nodes[pi].Name] = v
+		if pe, ok := pairing[pi]; ok {
+			kv := v
+			if !pe.xnor {
+				kv = !v
+			}
+			ck.Key[c.Nodes[pe.key].Name] = kv
+		}
+	}
+	return ck
+}

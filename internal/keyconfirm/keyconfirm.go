@@ -1,0 +1,317 @@
+// Package keyconfirm implements the key confirmation algorithm (paper §V,
+// Algorithm 4): given a predicate φ over key values — typically the
+// disjunction of the keys shortlisted by the FALL functional analyses —
+// and I/O oracle access, it returns the key satisfying φ that is
+// consistent with the oracle, or ⊥ if none is.
+//
+// Two independent incremental SAT solvers mirror the paper's P/Q design:
+// P produces candidate keys consistent with φ and the observed I/O
+// patterns; Q produces distinguishing inputs for the current candidate,
+// with the candidate pinned via solver assumptions. The two UNSAT results
+// are therefore distinguishable: P UNSAT means the guess φ was wrong
+// (return ⊥), Q UNSAT means no distinguishing input remains (the
+// candidate is confirmed). With φ = true the procedure devolves into the
+// standard SAT attack, as the paper observes.
+//
+// Implementation refinement (documented in DESIGN.md): before the final
+// single-copy convergence check, an accelerated phase requires each
+// distinguishing input to separate the candidate from two distinct other
+// keys simultaneously (the Double-DIP strengthening [18]). On point-
+// function locking this steers the solver to the protected-cube query
+// that eliminates the whole wrong-key space at once. Soundness is
+// unaffected: termination is still decided by the unmodified Algorithm 4
+// query, and every returned key is consistent with φ and all oracle
+// responses.
+package keyconfirm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/oracle"
+	"repro/internal/sat"
+)
+
+// Result reports a key confirmation run.
+type Result struct {
+	// Key is the confirmed key, nil when Confirmed is false.
+	Key map[string]bool
+	// Confirmed is true if some candidate satisfying φ is consistent
+	// with the oracle; false means ⊥ (the guess was wrong).
+	Confirmed bool
+	// TimedOut reports deadline expiry (result undetermined).
+	TimedOut bool
+	// Iterations counts distinguishing-input queries.
+	Iterations int
+	// OracleQueries counts oracle calls.
+	OracleQueries int
+	// Elapsed is the total run time.
+	Elapsed time.Duration
+}
+
+// Options tunes the confirmation run.
+type Options struct {
+	// Deadline bounds wall-clock time (zero = none).
+	Deadline time.Time
+	// DisableDoubleDIP turns off the accelerated two-copy phase and runs
+	// pure Algorithm 4 (ablation knob).
+	DisableDoubleDIP bool
+	// MaxIterations bounds distinguishing-input queries (<= 0: unlimited).
+	MaxIterations int
+	// Interrupt, when non-nil, cancels the run from another goroutine:
+	// once the flag is true every internal SAT call returns Unknown and
+	// Confirm reports TimedOut. Used by ConfirmParallel.
+	Interrupt *atomic.Bool
+}
+
+// Confirm runs key confirmation with φ = OR over the candidate key
+// assignments. An empty candidate list means φ = true (degenerates to the
+// SAT attack over the whole key space).
+func Confirm(locked *circuit.Circuit, candidates []map[string]bool, orc oracle.Oracle, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	keys := locked.KeyInputs()
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("keyconfirm: circuit has no key inputs")
+	}
+	outIdx, err := outputIndex(locked, orc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Solver P: candidate keys satisfying φ and observed I/O patterns.
+	p := sat.New()
+	pe := cnf.NewEncoder(p)
+	kp := make([]sat.Lit, len(keys))
+	givenP := make(map[int]sat.Lit, len(keys))
+	for i, k := range keys {
+		kp[i] = pe.NewLit()
+		givenP[k] = kp[i]
+	}
+	if len(candidates) > 0 {
+		encodePhi(p, pe, locked, keys, kp, candidates)
+	}
+
+	// Solver Q: single-copy miter per Algorithm 4 (the sound terminator).
+	q := sat.New()
+	qe := cnf.NewEncoder(q)
+	q1lits := qe.EncodeCircuitWith(locked, nil)
+	sharedQ := piShared(locked, q1lits)
+	q2lits := qe.EncodeCircuitWith(locked, sharedQ)
+	qe.NotEqual(cnf.EncodedOutputs(locked, q1lits), cnf.EncodedOutputs(locked, q2lits))
+	qK1 := cnf.InputLits(keys, q1lits)
+	qK2given := keyGiven(keys, cnf.InputLits(keys, q2lits))
+
+	// Solver D: accelerated double-DIP miter (two other-key copies).
+	var d *sat.Solver
+	var de *cnf.Encoder
+	var dK1 []sat.Lit
+	var dPIs []sat.Lit
+	var dK2given, dK3given map[int]sat.Lit
+	if !opts.DisableDoubleDIP {
+		d = sat.New()
+		de = cnf.NewEncoder(d)
+		d1 := de.EncodeCircuitWith(locked, nil)
+		sharedD := piShared(locked, d1)
+		d2 := de.EncodeCircuitWith(locked, sharedD)
+		d3 := de.EncodeCircuitWith(locked, sharedD)
+		de.NotEqual(cnf.EncodedOutputs(locked, d1), cnf.EncodedOutputs(locked, d2))
+		de.NotEqual(cnf.EncodedOutputs(locked, d1), cnf.EncodedOutputs(locked, d3))
+		k2 := cnf.InputLits(keys, d2)
+		k3 := cnf.InputLits(keys, d3)
+		de.NotEqual(k2, k3) // the two other keys are distinct
+		dK1 = cnf.InputLits(keys, d1)
+		dPIs = cnf.InputLits(locked.PrimaryInputs(), d1)
+		dK2given = keyGiven(keys, k2)
+		dK3given = keyGiven(keys, k3)
+	}
+	if !opts.Deadline.IsZero() {
+		p.SetDeadline(opts.Deadline)
+		q.SetDeadline(opts.Deadline)
+		if d != nil {
+			d.SetDeadline(opts.Deadline)
+		}
+	}
+	if opts.Interrupt != nil {
+		p.SetInterrupt(opts.Interrupt)
+		q.SetInterrupt(opts.Interrupt)
+		if d != nil {
+			d.SetInterrupt(opts.Interrupt)
+		}
+	}
+
+	qPIs := cnf.InputLits(locked.PrimaryInputs(), q1lits)
+	doublePhase := !opts.DisableDoubleDIP
+
+	for {
+		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
+			res.TimedOut = true
+			break
+		}
+		// Line 6-9: candidate key from P.
+		switch p.Solve() {
+		case sat.Unknown:
+			res.TimedOut = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		case sat.Unsat:
+			// ⊥: no key satisfies φ and the observations.
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		ki := make([]bool, len(keys))
+		assumpsQ := make([]sat.Lit, len(keys))
+		for i := range keys {
+			ki[i] = p.LitTrue(kp[i])
+			assumpsQ[i] = litWithValue(qK1[i], ki[i])
+		}
+
+		// Accelerated phase: distinguish Ki from two keys at once.
+		if doublePhase {
+			assumpsD := make([]sat.Lit, len(keys))
+			for i := range keys {
+				assumpsD[i] = litWithValue(dK1[i], ki[i])
+			}
+			switch d.SolveAssuming(assumpsD) {
+			case sat.Unknown:
+				res.TimedOut = true
+				res.Elapsed = time.Since(start)
+				return res, nil
+			case sat.Unsat:
+				// No double-DIP remains; fall through to the sound
+				// single-copy phase for the rest of the run.
+				doublePhase = false
+			case sat.Sat:
+				res.Iterations++
+				xd := modelInput(locked, d, dPIs)
+				yd := orc.Query(xd)
+				res.OracleQueries++
+				addIOConstraint(pe, locked, xd, yd, outIdx, givenP)
+				addIOConstraint(qe, locked, xd, yd, outIdx, qK2given)
+				addIOConstraint(de, locked, xd, yd, outIdx, dK2given)
+				addIOConstraint(de, locked, xd, yd, outIdx, dK3given)
+				continue
+			}
+		}
+
+		// Line 10-12: Algorithm 4's distinguishing-input query.
+		switch q.SolveAssuming(assumpsQ) {
+		case sat.Unknown:
+			res.TimedOut = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		case sat.Unsat:
+			// Confirmed: Ki |= φ and no distinguishing input exists.
+			res.Key = make(map[string]bool, len(keys))
+			for i, k := range keys {
+				res.Key[locked.Nodes[k].Name] = ki[i]
+			}
+			res.Confirmed = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		res.Iterations++
+		xd := modelInput(locked, q, qPIs)
+		yd := orc.Query(xd)
+		res.OracleQueries++
+		// Lines 15-16.
+		addIOConstraint(pe, locked, xd, yd, outIdx, givenP)
+		addIOConstraint(qe, locked, xd, yd, outIdx, qK2given)
+		if d != nil {
+			addIOConstraint(de, locked, xd, yd, outIdx, dK2given)
+			addIOConstraint(de, locked, xd, yd, outIdx, dK3given)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// encodePhi adds φ = OR_j (K == candidate_j) to solver p via selector
+// variables.
+func encodePhi(p *sat.Solver, pe *cnf.Encoder, locked *circuit.Circuit, keys []int, kp []sat.Lit, candidates []map[string]bool) {
+	sels := make([]sat.Lit, len(candidates))
+	for j, cand := range candidates {
+		sel := pe.NewLit()
+		sels[j] = sel
+		for i, k := range keys {
+			name := locked.Nodes[k].Name
+			v, ok := cand[name]
+			if !ok {
+				continue // unconstrained bit in this candidate
+			}
+			p.AddClause(sel.Neg(), litWithValue(kp[i], v))
+		}
+	}
+	p.AddClause(sels...)
+}
+
+func piShared(locked *circuit.Circuit, lits []sat.Lit) map[int]sat.Lit {
+	shared := make(map[int]sat.Lit)
+	for _, pi := range locked.PrimaryInputs() {
+		shared[pi] = lits[pi]
+	}
+	return shared
+}
+
+func keyGiven(keys []int, lits []sat.Lit) map[int]sat.Lit {
+	m := make(map[int]sat.Lit, len(keys))
+	for i, k := range keys {
+		m[k] = lits[i]
+	}
+	return m
+}
+
+func modelInput(locked *circuit.Circuit, s *sat.Solver, piLits []sat.Lit) map[string]bool {
+	pis := locked.PrimaryInputs()
+	xd := make(map[string]bool, len(pis))
+	for i, pi := range pis {
+		xd[locked.Nodes[pi].Name] = s.LitTrue(piLits[i])
+	}
+	return xd
+}
+
+func litWithValue(l sat.Lit, v bool) sat.Lit {
+	if v {
+		return l
+	}
+	return l.Neg()
+}
+
+func addIOConstraint(e *cnf.Encoder, locked *circuit.Circuit, xd map[string]bool, yd []bool, outIdx []int, keyLits map[int]sat.Lit) {
+	given := make(map[int]sat.Lit, len(xd)+len(keyLits))
+	for k, v := range keyLits {
+		given[k] = v
+	}
+	for _, pi := range locked.PrimaryInputs() {
+		given[pi] = e.ConstLit(xd[locked.Nodes[pi].Name])
+	}
+	lits := e.EncodeCircuitWith(locked, given)
+	for i, o := range locked.Outputs {
+		e.Fix(lits[o], yd[outIdx[i]])
+	}
+}
+
+func outputIndex(locked *circuit.Circuit, orc oracle.Oracle) ([]int, error) {
+	names := orc.OutputNames()
+	byName := make(map[string]int, len(names))
+	for i, n := range names {
+		byName[n] = i
+	}
+	idx := make([]int, len(locked.Outputs))
+	for i, o := range locked.Outputs {
+		n := locked.Nodes[o].Name
+		j, ok := byName[n]
+		if !ok {
+			if i < len(names) {
+				j = i
+			} else {
+				return nil, fmt.Errorf("keyconfirm: output %q not known to oracle", n)
+			}
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}

@@ -1,0 +1,280 @@
+package keyconfirm
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/lock"
+	"repro/internal/oracle"
+	"repro/internal/satattack"
+	"repro/internal/testcirc"
+)
+
+func lockTT(t *testing.T, nIn, gates, keySize int, seed int64) (*circuit.Circuit, *lock.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	orig := testcirc.Random(rng, nIn, gates)
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: keySize, Seed: seed + 1, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, lr
+}
+
+func complementKey(key map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(key))
+	for k, v := range key {
+		out[k] = !v
+	}
+	return out
+}
+
+func TestConfirmPicksCorrectAmongTwo(t *testing.T) {
+	// The paper's canonical scenario: FALL shortlists the correct key and
+	// its bitwise complement; confirmation must pick the correct one.
+	orig, lr := lockTT(t, 14, 100, 12, 21)
+	orc := oracle.NewSim(orig)
+	cands := []map[string]bool{complementKey(lr.Key), lr.Key} // wrong first
+	res, err := Confirm(lr.Locked, cands, orc, Options{Deadline: time.Now().Add(30 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("confirmation failed: %+v", res)
+	}
+	for k, v := range lr.Key {
+		if res.Key[k] != v {
+			t.Fatalf("confirmed wrong key bit %s", k)
+		}
+	}
+	if err := oracle.CheckKey(lr.Locked, oracle.NewSim(orig), res.Key, 256, 3); err != nil {
+		t.Errorf("confirmed key fails check: %v", err)
+	}
+}
+
+func TestConfirmReturnsBottomForWrongGuesses(t *testing.T) {
+	// Lemma 4's second clause: if no candidate is consistent with the
+	// oracle, the algorithm must return ⊥, not a wrong key.
+	orig, lr := lockTT(t, 12, 80, 10, 33)
+	orc := oracle.NewSim(orig)
+	w1 := complementKey(lr.Key)
+	w2 := map[string]bool{}
+	for k, v := range lr.Key {
+		w2[k] = v
+	}
+	w2[lr.KeyNames[0]] = !w2[lr.KeyNames[0]]
+	res, err := Confirm(lr.Locked, []map[string]bool{w1, w2}, orc, Options{Deadline: time.Now().Add(30 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confirmed {
+		t.Fatalf("confirmed a wrong key: %v", res.Key)
+	}
+	if res.TimedOut {
+		t.Error("returned timeout instead of ⊥")
+	}
+}
+
+func TestConfirmSingleCorrectCandidate(t *testing.T) {
+	orig, lr := lockTT(t, 12, 80, 10, 45)
+	orc := oracle.NewSim(orig)
+	res, err := Confirm(lr.Locked, []map[string]bool{lr.Key}, orc, Options{Deadline: time.Now().Add(30 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("single correct candidate rejected: %+v", res)
+	}
+	t.Logf("confirmed in %d iterations, %d oracle queries", res.Iterations, res.OracleQueries)
+}
+
+func TestConfirmPureAlgorithm4SmallKey(t *testing.T) {
+	// With DoubleDIP disabled this is the paper's Algorithm 4 verbatim;
+	// keep the key space small so the single-copy loop converges.
+	orig, lr := lockTT(t, 8, 60, 6, 51)
+	orc := oracle.NewSim(orig)
+	cands := []map[string]bool{complementKey(lr.Key), lr.Key}
+	res, err := Confirm(lr.Locked, cands, orc, Options{
+		Deadline:         time.Now().Add(60 * time.Second),
+		DisableDoubleDIP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("algorithm 4 failed: %+v", res)
+	}
+	for k, v := range lr.Key {
+		if res.Key[k] != v {
+			t.Fatalf("wrong key bit %s", k)
+		}
+	}
+}
+
+func TestConfirmPhiTrueDevolvesToSATAttack(t *testing.T) {
+	// φ = true: key confirmation over the full key space equals the SAT
+	// attack (paper §V). Use RLL, which the SAT attack defeats quickly.
+	rng := rand.New(rand.NewSource(61))
+	orig := testcirc.Random(rng, 8, 50)
+	lr, err := lock.RandomXOR(orig, lock.Options{KeySize: 6, Seed: 8, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewSim(orig)
+	res, err := Confirm(lr.Locked, nil, orc, Options{Deadline: time.Now().Add(30 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("φ=true confirmation failed: %+v", res)
+	}
+	if err := oracle.CheckKey(lr.Locked, oracle.NewSim(orig), res.Key, 256, 9); err != nil {
+		t.Errorf("recovered key is wrong: %v", err)
+	}
+}
+
+func TestConfirmBeatsSATAttackOnSFLL(t *testing.T) {
+	// The Fig. 6 phenomenon at test scale: on a TTLock circuit with a
+	// 2^16 key space, key confirmation with a correct hint finishes in a
+	// handful of iterations while the SAT attack burns its iteration
+	// budget.
+	orig, lr := lockTT(t, 18, 120, 16, 71)
+	orc1 := oracle.NewSim(orig)
+	conf, err := Confirm(lr.Locked, []map[string]bool{lr.Key, complementKey(lr.Key)}, orc1,
+		Options{Deadline: time.Now().Add(60 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conf.Confirmed {
+		t.Fatalf("confirmation failed: %+v", conf)
+	}
+	orc2 := oracle.NewSim(orig)
+	sa, err := satattack.Run(lr.Locked, orc2, time.Now().Add(10*time.Second), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Solved {
+		t.Logf("SAT attack unexpectedly solved 2^16 TTLock in %d iterations", sa.Iterations)
+	} else if conf.Iterations >= 200 {
+		t.Errorf("key confirmation took %d iterations; expected far fewer than the SAT attack cap", conf.Iterations)
+	}
+	t.Logf("keyconfirm: %d iters / %v; satattack: solved=%v %d iters / %v",
+		conf.Iterations, conf.Elapsed, sa.Solved, sa.Iterations, sa.Elapsed)
+}
+
+func TestConfirmDeadline(t *testing.T) {
+	orig, lr := lockTT(t, 14, 100, 12, 81)
+	orc := oracle.NewSim(orig)
+	res, err := Confirm(lr.Locked, []map[string]bool{lr.Key}, orc, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Error("expired deadline did not stop confirmation")
+	}
+}
+
+func TestConfirmNoKeysErrors(t *testing.T) {
+	orig := testcirc.Fig2a()
+	if _, err := Confirm(orig, nil, oracle.NewSim(orig), Options{}); err == nil {
+		t.Error("circuit without keys accepted")
+	}
+}
+
+func TestConfirmPartialCandidateBits(t *testing.T) {
+	// Candidates may constrain only a subset of key bits; confirmation
+	// searches the rest. Constrain all but two bits correctly.
+	orig, lr := lockTT(t, 10, 70, 8, 91)
+	orc := oracle.NewSim(orig)
+	partial := map[string]bool{}
+	for i, name := range lr.KeyNames {
+		if i >= 2 {
+			partial[name] = lr.Key[name]
+		}
+	}
+	res, err := Confirm(lr.Locked, []map[string]bool{partial}, orc, Options{Deadline: time.Now().Add(60 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("partial candidate not completed: %+v", res)
+	}
+	if err := oracle.CheckKey(lr.Locked, oracle.NewSim(orig), res.Key, 512, 13); err != nil {
+		t.Errorf("completed key is wrong: %v", err)
+	}
+}
+
+func TestConfirmSFLLHD2(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	orig := testcirc.Random(rng, 14, 100)
+	lr, err := lock.SFLLHD(orig, lock.Options{KeySize: 12, H: 2, Seed: 7, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewSim(orig)
+	res, err := Confirm(lr.Locked, []map[string]bool{complementKey(lr.Key), lr.Key}, orc,
+		Options{Deadline: time.Now().Add(60 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("SFLL-HD2 confirmation failed: %+v", res)
+	}
+	for k, v := range lr.Key {
+		if res.Key[k] != v {
+			t.Fatalf("wrong bit %s", k)
+		}
+	}
+}
+
+func TestConfirmParallelPartitionedSATAttack(t *testing.T) {
+	// §VI-D: the key confirmation attack parallelizes the SAT attack by
+	// partitioning the key space via φ. With no candidate hints at all,
+	// four regions of a 2^10 TTLock key space race; the region holding
+	// the correct key confirms it and cancels the others.
+	orig, lr := lockTT(t, 12, 80, 10, 111)
+	res, err := ConfirmParallel(lr.Locked, 2, func() oracle.Oracle { return oracle.NewSim(orig) },
+		Options{Deadline: time.Now().Add(120 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Confirmed {
+		t.Fatalf("parallel partitioned attack failed: %+v", res)
+	}
+	for k, v := range lr.Key {
+		if res.Key[k] != v {
+			t.Fatalf("wrong key bit %s", k)
+		}
+	}
+	if res.Regions != 4 {
+		t.Errorf("regions = %d, want 4", res.Regions)
+	}
+	t.Logf("parallel: %d regions, %d total iterations, %d oracle queries",
+		res.Regions, res.TotalIterations, res.TotalOracleQueries)
+}
+
+func TestConfirmParallelBitsValidation(t *testing.T) {
+	orig, lr := lockTT(t, 8, 60, 6, 121)
+	if _, err := ConfirmParallel(lr.Locked, 99, func() oracle.Oracle { return oracle.NewSim(orig) }, Options{}); err == nil {
+		t.Error("bits > keys accepted")
+	}
+	if _, err := ConfirmParallel(orig, 1, func() oracle.Oracle { return oracle.NewSim(orig) }, Options{}); err == nil {
+		t.Error("keyless circuit accepted")
+	}
+}
+
+func TestInterruptStopsConfirm(t *testing.T) {
+	orig, lr := lockTT(t, 16, 120, 14, 131)
+	var stop atomic.Bool
+	stop.Store(true) // pre-cancelled
+	res, err := Confirm(lr.Locked, nil, oracle.NewSim(orig), Options{Interrupt: &stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Errorf("pre-cancelled run returned %+v, want TimedOut", res)
+	}
+}

@@ -1,0 +1,102 @@
+package keyconfirm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/circuit"
+	"repro/internal/oracle"
+)
+
+// ParallelResult aggregates a partitioned parallel run.
+type ParallelResult struct {
+	// Result is the winning region's confirmation result (Confirmed key)
+	// or a synthesized ⊥/timeout verdict when no region confirmed.
+	Result
+	// Regions is the number of key-space partitions searched.
+	Regions int
+	// TotalIterations sums distinguishing-input queries across regions.
+	TotalIterations int
+	// TotalOracleQueries sums oracle calls across regions.
+	TotalOracleQueries int
+}
+
+// ConfirmParallel realizes the parallelization the paper sketches in
+// §VI-D: "the key confirmation attack can also be used to parallelize
+// the SAT attack by partitioning the key input space into different
+// regions and setting φ to search over these distinct regions in each
+// parallel invocation." The first `bits` key inputs are fixed to each of
+// the 2^bits combinations, and one key confirmation runs per region in
+// its own goroutine (the authors' prototype was single-threaded; this is
+// the natural Go realization). The first confirmed region cancels the
+// rest via the solver interrupt flag.
+//
+// oracleFactory must return an independent oracle per region (oracles
+// count queries and are not safe for concurrent use).
+func ConfirmParallel(locked *circuit.Circuit, bits int, oracleFactory func() oracle.Oracle, opts Options) (*ParallelResult, error) {
+	keys := locked.KeyInputs()
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("keyconfirm: circuit has no key inputs")
+	}
+	if bits < 0 || bits > len(keys) || bits > 16 {
+		return nil, fmt.Errorf("keyconfirm: partition bits %d out of range (0..min(16, %d))", bits, len(keys))
+	}
+	regions := 1 << uint(bits)
+	var stop atomic.Bool
+	type regionOutcome struct {
+		res *Result
+		err error
+	}
+	outcomes := make([]regionOutcome, regions)
+	var wg sync.WaitGroup
+	for r := 0; r < regions; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// φ for this region: the first `bits` key inputs fixed to
+			// the bits of r; the rest unconstrained.
+			region := make(map[string]bool, bits)
+			for i := 0; i < bits; i++ {
+				region[locked.Nodes[keys[i]].Name] = r&(1<<uint(i)) != 0
+			}
+			ropts := opts
+			ropts.Interrupt = &stop
+			var cands []map[string]bool
+			if bits > 0 {
+				cands = []map[string]bool{region}
+			}
+			res, err := Confirm(locked, cands, oracleFactory(), ropts)
+			outcomes[r] = regionOutcome{res, err}
+			if err == nil && res.Confirmed {
+				stop.Store(true) // cancel the other regions
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	out := &ParallelResult{Regions: regions}
+	anyTimeout := false
+	for _, oc := range outcomes {
+		if oc.err != nil {
+			return nil, oc.err
+		}
+		out.TotalIterations += oc.res.Iterations
+		out.TotalOracleQueries += oc.res.OracleQueries
+		if oc.res.Confirmed && !out.Confirmed {
+			out.Result = *oc.res
+		}
+		if oc.res.TimedOut {
+			anyTimeout = true
+		}
+		if oc.res.Elapsed > out.Elapsed {
+			out.Elapsed = oc.res.Elapsed // wall-clock = slowest region
+		}
+	}
+	if !out.Confirmed {
+		// ⊥ only if every region genuinely exhausted its space; a
+		// timed-out (or cancelled) region leaves the verdict open.
+		out.TimedOut = anyTimeout
+	}
+	return out, nil
+}

@@ -1,0 +1,546 @@
+// Package lock implements logic locking algorithms: TTLock and SFLL-HDh
+// (the schemes attacked by the paper), plus three baselines from the
+// related-work landscape — random XOR/XNOR locking (RLL/EPIC), SARLock and
+// Anti-SAT — used by the extension benchmarks.
+//
+// All lockers follow the architecture of the paper's Fig. 1: a
+// functionality-stripped circuit whose output is flipped for a protected
+// cube (or Hamming-distance shell around it), composed with a
+// key-programmable functionality restoration unit. The correct key
+// restores the original function exactly.
+package lock
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/aig"
+	"repro/internal/circuit"
+)
+
+// Options configures a locking run.
+type Options struct {
+	// KeySize is the number of key inputs (m in the paper).
+	KeySize int
+	// H is the Hamming distance parameter of SFLL-HDh; 0 gives TTLock.
+	H int
+	// Seed drives all random choices (cube value, input selection),
+	// making locking deterministic.
+	Seed int64
+	// Optimize runs the locked netlist through aig.Strash, as the paper
+	// does with ABC, removing the structural bias of naive insertion.
+	Optimize bool
+	// KeyIndexOffset offsets generated key input names (keyinput<N>),
+	// letting several lockers compose on one circuit without name
+	// collisions (see Compound).
+	KeyIndexOffset int
+}
+
+func (o Options) keyName(i int) string {
+	return fmt.Sprintf("keyinput%d", o.KeyIndexOffset+i)
+}
+
+// Result describes a locked circuit and its secret.
+type Result struct {
+	// Locked is the locked netlist (optimized when requested). Its key
+	// inputs are named keyinput0..keyinput<m-1>.
+	Locked *circuit.Circuit
+	// Key maps each key input name to its correct value.
+	Key map[string]bool
+	// KeyNames lists key input names in index order.
+	KeyNames []string
+	// ProtectedInputs lists the circuit-input names the protected cube is
+	// defined over, in key index order: keyinput i pairs with
+	// ProtectedInputs[i]. Empty for RLL.
+	ProtectedInputs []string
+	// Cube maps protected input names to the protected cube value.
+	Cube map[string]bool
+	// H is the Hamming distance parameter used (SFLL/TTLock only).
+	H int
+	// Algorithm names the locking scheme.
+	Algorithm string
+	// TargetOutput is the name of the output whose logic was stripped.
+	TargetOutput string
+}
+
+// namer generates fresh, collision-free gate names within a circuit.
+type namer struct {
+	c      *circuit.Circuit
+	prefix string
+	n      int
+}
+
+func (nm *namer) next() string {
+	for {
+		name := fmt.Sprintf("%s%d", nm.prefix, nm.n)
+		nm.n++
+		if _, taken := nm.c.NodeByName(name); !taken {
+			return name
+		}
+	}
+}
+
+func (nm *namer) gate(t circuit.GateType, fanins ...int) int {
+	return nm.c.MustGate(nm.next(), t, fanins...)
+}
+
+// popcountEq builds gates computing [sum(bits) == k] and returns the node
+// id of the comparison output. bits must be non-empty and 0 <= k <= len(bits).
+func popcountEq(nm *namer, bits []int, k int) int {
+	sum := popcount(nm, bits)
+	// Compare the little-endian sum against constant k.
+	cmp := make([]int, len(sum))
+	for j, b := range sum {
+		if k&(1<<uint(j)) != 0 {
+			cmp[j] = b
+		} else {
+			cmp[j] = nm.gate(circuit.Not, b)
+		}
+	}
+	if len(cmp) == 1 {
+		return cmp[0]
+	}
+	return nm.gate(circuit.And, cmp...)
+}
+
+// popcount builds a little-endian binary adder tree over single-bit nodes.
+func popcount(nm *namer, bits []int) []int {
+	switch len(bits) {
+	case 0:
+		return nil
+	case 1:
+		return bits
+	}
+	mid := len(bits) / 2
+	return addBin(nm, popcount(nm, bits[:mid]), popcount(nm, bits[mid:]))
+}
+
+func addBin(nm *namer, as, bs []int) []int {
+	if len(as) < len(bs) {
+		as, bs = bs, as
+	}
+	out := make([]int, 0, len(as)+1)
+	carry := -1
+	for i := range as {
+		a := as[i]
+		b := -1
+		if i < len(bs) {
+			b = bs[i]
+		}
+		switch {
+		case b < 0 && carry < 0:
+			out = append(out, a)
+		case b < 0:
+			s, c := halfAdder(nm, a, carry)
+			out = append(out, s)
+			carry = c
+		case carry < 0:
+			s, c := halfAdder(nm, a, b)
+			out = append(out, s)
+			carry = c
+		default:
+			s, c := fullAdder(nm, a, b, carry)
+			out = append(out, s)
+			carry = c
+		}
+	}
+	if carry >= 0 {
+		out = append(out, carry)
+	}
+	return out
+}
+
+func halfAdder(nm *namer, a, b int) (sum, carry int) {
+	return nm.gate(circuit.Xor, a, b), nm.gate(circuit.And, a, b)
+}
+
+func fullAdder(nm *namer, a, b, cin int) (sum, carry int) {
+	t := nm.gate(circuit.Xor, a, b)
+	sum = nm.gate(circuit.Xor, t, cin)
+	carry = nm.gate(circuit.Or, nm.gate(circuit.And, a, b), nm.gate(circuit.And, cin, t))
+	return sum, carry
+}
+
+// pickTarget selects the output with the widest primary-input support that
+// can host a keySize-bit cube, and returns its node id and the chosen
+// protected input ids (sorted).
+func pickTarget(c *circuit.Circuit, keySize int, rng *rand.Rand) (outID int, protected []int, err error) {
+	best := -1
+	var bestSup []int
+	for _, o := range c.Outputs {
+		var sup []int
+		for _, s := range c.Support(o) {
+			if !c.Nodes[s].IsKey {
+				sup = append(sup, s)
+			}
+		}
+		if len(sup) > len(bestSup) {
+			best = o
+			bestSup = sup
+		}
+	}
+	if best < 0 || len(bestSup) < keySize {
+		return 0, nil, fmt.Errorf("lock: no output with support >= %d (best %d)", keySize, len(bestSup))
+	}
+	idx := rng.Perm(len(bestSup))[:keySize]
+	protected = make([]int, keySize)
+	for i, j := range idx {
+		protected[i] = bestSup[j]
+	}
+	sort.Ints(protected)
+	return best, protected, nil
+}
+
+// SFLLHD locks orig with SFLL-HDh per the paper's Fig. 1/Fig. 2c. The
+// functionality-stripped circuit flips the target output for every input
+// whose selected bits lie at Hamming distance exactly H from a secret
+// protected cube; the restoration unit flips it back for inputs at
+// distance H from the key inputs. H = 0 degenerates to TTLock.
+func SFLLHD(orig *circuit.Circuit, opts Options) (*Result, error) {
+	if opts.KeySize < 1 {
+		return nil, fmt.Errorf("lock: key size %d < 1", opts.KeySize)
+	}
+	if opts.H < 0 || opts.H > opts.KeySize {
+		return nil, fmt.Errorf("lock: h=%d out of range for m=%d", opts.H, opts.KeySize)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := orig.Clone()
+	c.Name = fmt.Sprintf("%s_sfll_hd%d_k%d", orig.Name, opts.H, opts.KeySize)
+	outID, protected, err := pickTarget(c, opts.KeySize, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Key:       make(map[string]bool),
+		Cube:      make(map[string]bool),
+		H:         opts.H,
+		Algorithm: fmt.Sprintf("sfll-hd%d", opts.H),
+	}
+	if opts.H == 0 {
+		res.Algorithm = "ttlock"
+	}
+	res.TargetOutput = c.Nodes[outID].Name
+
+	// Key inputs, paired positionally with the protected inputs.
+	keyIDs := make([]int, opts.KeySize)
+	for i := range keyIDs {
+		name := opts.keyName(i)
+		keyIDs[i] = c.AddKeyInput(name)
+		res.KeyNames = append(res.KeyNames, name)
+		piName := c.Nodes[protected[i]].Name
+		res.ProtectedInputs = append(res.ProtectedInputs, piName)
+		bit := rng.Intn(2) == 1
+		res.Cube[piName] = bit
+		res.Key[name] = bit
+	}
+
+	nm := &namer{c: c, prefix: "sfll_"}
+
+	// Functionality-stripped circuit: strip = [HD(X_sel, cube) == H].
+	stripBits := make([]int, opts.KeySize)
+	for i, pi := range protected {
+		// d_i = x_i XOR cube_i: identity when cube_i=0, inverter when 1.
+		if res.Cube[c.Nodes[pi].Name] {
+			stripBits[i] = nm.gate(circuit.Not, pi)
+		} else {
+			stripBits[i] = pi
+		}
+	}
+	var strip int
+	if opts.H == 0 {
+		// HD == 0 means all d_i are 0: AND of inverted d_i, i.e. the
+		// protected cube as a product term (Fig. 2b's gate F).
+		inv := make([]int, len(stripBits))
+		for i, b := range stripBits {
+			inv[i] = nm.gate(circuit.Not, b)
+		}
+		strip = andTree(nm, inv)
+	} else {
+		strip = popcountEq(nm, stripBits, opts.H)
+	}
+	yfs := nm.gate(circuit.Xor, outID, strip)
+
+	// Restoration unit: restore = [HD(X_sel, K) == H].
+	restBits := make([]int, opts.KeySize)
+	for i, pi := range protected {
+		restBits[i] = nm.gate(circuit.Xor, pi, keyIDs[i])
+	}
+	var restore int
+	if opts.H == 0 {
+		inv := make([]int, len(restBits))
+		for i, b := range restBits {
+			inv[i] = nm.gate(circuit.Not, b) // XNOR comparators (Fig. 2b)
+		}
+		restore = andTree(nm, inv)
+	} else {
+		restore = popcountEq(nm, restBits, opts.H)
+	}
+	yLocked := nm.gate(circuit.Xor, yfs, restore)
+
+	replaceOutput(c, outID, yLocked)
+	finish(c, opts, res)
+	return res, nil
+}
+
+// TTLock locks orig with TTLock, i.e. SFLL-HD0 (paper Fig. 2b).
+func TTLock(orig *circuit.Circuit, opts Options) (*Result, error) {
+	opts.H = 0
+	return SFLLHD(orig, opts)
+}
+
+func andTree(nm *namer, bits []int) int {
+	if len(bits) == 1 {
+		return bits[0]
+	}
+	return nm.gate(circuit.And, bits...)
+}
+
+// replaceOutput rewires output oldID to newID, keeping output order.
+func replaceOutput(c *circuit.Circuit, oldID, newID int) {
+	for i, o := range c.Outputs {
+		if o == oldID {
+			c.Outputs[i] = newID
+			return
+		}
+	}
+	panic("lock: output to replace not found")
+}
+
+func finish(c *circuit.Circuit, opts Options, res *Result) {
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("lock: produced invalid circuit: %v", err))
+	}
+	if opts.Optimize {
+		c = aig.Strash(c)
+	}
+	res.Locked = c
+}
+
+// RandomXOR implements random XOR/XNOR key-gate insertion locking
+// (RLL/EPIC [16]). Each key bit guards one randomly chosen internal wire:
+// an XOR gate (correct key bit 0) or XNOR gate (correct key bit 1) is
+// spliced into every fanout of the wire.
+func RandomXOR(orig *circuit.Circuit, opts Options) (*Result, error) {
+	if opts.KeySize < 1 {
+		return nil, fmt.Errorf("lock: key size %d < 1", opts.KeySize)
+	}
+	var gates []int
+	for id, n := range orig.Nodes {
+		if n.Type != circuit.Input && n.Type != circuit.Const0 && n.Type != circuit.Const1 {
+			gates = append(gates, id)
+		}
+	}
+	if len(gates) < opts.KeySize {
+		return nil, fmt.Errorf("lock: only %d gates for %d key bits", len(gates), opts.KeySize)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := rng.Perm(len(gates))
+	target := make(map[int]int) // original node id -> key index
+	for i := 0; i < opts.KeySize; i++ {
+		target[gates[perm[i]]] = i
+	}
+	res := &Result{
+		Key:       make(map[string]bool),
+		Cube:      map[string]bool{},
+		Algorithm: "rll",
+	}
+
+	c := circuit.New(fmt.Sprintf("%s_rll_k%d", orig.Name, opts.KeySize))
+	keyIDs := make([]int, opts.KeySize)
+	for i := range keyIDs {
+		name := opts.keyName(i)
+		keyIDs[i] = c.AddKeyInput(name)
+		res.KeyNames = append(res.KeyNames, name)
+		res.Key[name] = rng.Intn(2) == 1
+	}
+	remap := make([]int, orig.Len())
+	for id := range orig.Nodes {
+		n := &orig.Nodes[id]
+		var newID int
+		switch n.Type {
+		case circuit.Input:
+			if n.IsKey {
+				newID = c.AddKeyInput(n.Name)
+			} else {
+				newID = c.AddInput(n.Name)
+			}
+		case circuit.Const0, circuit.Const1:
+			newID = c.AddConst(n.Name, n.Type == circuit.Const1)
+		default:
+			fanins := make([]int, len(n.Fanins))
+			for i, f := range n.Fanins {
+				fanins[i] = remap[f]
+			}
+			newID = c.MustGate(n.Name, n.Type, fanins...)
+		}
+		if ki, locked := target[id]; locked {
+			t := circuit.Xor
+			if res.Key[res.KeyNames[ki]] {
+				t = circuit.Xnor
+			}
+			newID = c.MustGate(fmt.Sprintf("rll_kg%d", ki), t, newID, keyIDs[ki])
+		}
+		remap[id] = newID
+	}
+	for _, o := range orig.Outputs {
+		c.MarkOutput(remap[o])
+	}
+	finish(c, opts, res)
+	return res, nil
+}
+
+// SARLock implements SARLock [30]: the target output is flipped when the
+// selected inputs equal the key, masked so the correct key never flips.
+// Every wrong key corrupts exactly one input pattern, defeating the SAT
+// attack by forcing one distinguishing input per wrong key.
+func SARLock(orig *circuit.Circuit, opts Options) (*Result, error) {
+	if opts.KeySize < 1 {
+		return nil, fmt.Errorf("lock: key size %d < 1", opts.KeySize)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := orig.Clone()
+	c.Name = fmt.Sprintf("%s_sarlock_k%d", orig.Name, opts.KeySize)
+	outID, protected, err := pickTarget(c, opts.KeySize, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Key:          make(map[string]bool),
+		Cube:         make(map[string]bool),
+		Algorithm:    "sarlock",
+		TargetOutput: c.Nodes[outID].Name,
+	}
+	keyIDs := make([]int, opts.KeySize)
+	for i := range keyIDs {
+		name := opts.keyName(i)
+		keyIDs[i] = c.AddKeyInput(name)
+		res.KeyNames = append(res.KeyNames, name)
+		piName := c.Nodes[protected[i]].Name
+		res.ProtectedInputs = append(res.ProtectedInputs, piName)
+		bit := rng.Intn(2) == 1
+		res.Cube[piName] = bit
+		res.Key[name] = bit
+	}
+	nm := &namer{c: c, prefix: "sar_"}
+	// match = AND_i (x_i XNOR k_i)
+	cmp := make([]int, opts.KeySize)
+	for i, pi := range protected {
+		cmp[i] = nm.gate(circuit.Xnor, pi, keyIDs[i])
+	}
+	match := andTree(nm, cmp)
+	// mask = AND_i (k_i == correct_i): suppress the flip for the correct key.
+	maskBits := make([]int, opts.KeySize)
+	for i, k := range keyIDs {
+		if res.Key[res.KeyNames[i]] {
+			maskBits[i] = k
+		} else {
+			maskBits[i] = nm.gate(circuit.Not, k)
+		}
+	}
+	mask := andTree(nm, maskBits)
+	flip := nm.gate(circuit.And, match, nm.gate(circuit.Not, mask))
+	yLocked := nm.gate(circuit.Xor, outID, flip)
+	replaceOutput(c, outID, yLocked)
+	finish(c, opts, res)
+	return res, nil
+}
+
+// AntiSAT implements the Anti-SAT block (type 0) of Xie & Srivastava
+// [26, 27]: flip = AND(X xor Ka) AND NAND(X xor Kb), which is the constant
+// 0 whenever Ka == Kb. KeySize must be even; the first half is Ka, the
+// second half Kb, and the correct key sets Ka = Kb = R for a random R.
+func AntiSAT(orig *circuit.Circuit, opts Options) (*Result, error) {
+	if opts.KeySize < 2 || opts.KeySize%2 != 0 {
+		return nil, fmt.Errorf("lock: anti-sat needs an even key size >= 2, got %d", opts.KeySize)
+	}
+	n := opts.KeySize / 2
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := orig.Clone()
+	c.Name = fmt.Sprintf("%s_antisat_k%d", orig.Name, opts.KeySize)
+	outID, protected, err := pickTarget(c, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Key:          make(map[string]bool),
+		Cube:         make(map[string]bool),
+		Algorithm:    "antisat",
+		TargetOutput: c.Nodes[outID].Name,
+	}
+	keyIDs := make([]int, opts.KeySize)
+	for i := range keyIDs {
+		name := opts.keyName(i)
+		keyIDs[i] = c.AddKeyInput(name)
+		res.KeyNames = append(res.KeyNames, name)
+	}
+	// Correct key: Ka = Kb = R.
+	for i := 0; i < n; i++ {
+		r := rng.Intn(2) == 1
+		res.Key[res.KeyNames[i]] = r
+		res.Key[res.KeyNames[n+i]] = r
+		res.ProtectedInputs = append(res.ProtectedInputs, c.Nodes[protected[i]].Name)
+	}
+	nm := &namer{c: c, prefix: "as_"}
+	da := make([]int, n)
+	db := make([]int, n)
+	for i, pi := range protected {
+		da[i] = nm.gate(circuit.Xor, pi, keyIDs[i])
+		db[i] = nm.gate(circuit.Xor, pi, keyIDs[n+i])
+	}
+	ga := andTree(nm, da)
+	gb := nm.gate(circuit.Not, andTree(nm, db))
+	flip := nm.gate(circuit.And, ga, gb)
+	yLocked := nm.gate(circuit.Xor, outID, flip)
+	replaceOutput(c, outID, yLocked)
+	finish(c, opts, res)
+	return res, nil
+}
+
+// KeyAssignment converts the result's key map into node-id form for the
+// given circuit (typically res.Locked), for use with circuit.Eval.
+func (r *Result) KeyAssignment(c *circuit.Circuit) map[int]bool {
+	m := make(map[int]bool, len(r.Key))
+	for name, v := range r.Key {
+		if id, ok := c.NodeByName(name); ok {
+			m[id] = v
+		}
+	}
+	return m
+}
+
+// Compound applies RandomXOR (traditional locking) followed by SARLock on
+// the same circuit — the compound scheme the Double DIP attack [18]
+// targets: SARLock alone bounds each wrong key's corruption to one input
+// pattern, so designers layered it over traditional locking; Double DIP
+// strips the traditional layer anyway. rllKeys and sarKeys are the key
+// sizes of the two layers; key inputs are keyinput0..keyinput<rll+sar-1>.
+func Compound(orig *circuit.Circuit, rllKeys, sarKeys int, seed int64, optimize bool) (*Result, error) {
+	r1, err := RandomXOR(orig, Options{KeySize: rllKeys, Seed: seed, Optimize: false})
+	if err != nil {
+		return nil, fmt.Errorf("lock: compound rll stage: %w", err)
+	}
+	r2, err := SARLock(r1.Locked, Options{
+		KeySize: sarKeys, Seed: seed + 1, Optimize: optimize, KeyIndexOffset: rllKeys,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lock: compound sarlock stage: %w", err)
+	}
+	res := &Result{
+		Locked:       r2.Locked,
+		Key:          make(map[string]bool, rllKeys+sarKeys),
+		Algorithm:    "rll+sarlock",
+		TargetOutput: r2.TargetOutput,
+		Cube:         r2.Cube,
+	}
+	for k, v := range r1.Key {
+		res.Key[k] = v
+	}
+	for k, v := range r2.Key {
+		res.Key[k] = v
+	}
+	res.KeyNames = append(append([]string(nil), r1.KeyNames...), r2.KeyNames...)
+	res.ProtectedInputs = r2.ProtectedInputs
+	return res, nil
+}

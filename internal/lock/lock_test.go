@@ -1,0 +1,348 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/testcirc"
+)
+
+// exhaustiveErrorPatterns evaluates the locked circuit against the
+// original for every input pattern (small circuits only) under the given
+// key and returns the input patterns (as bitmask over primary inputs in
+// original order) whose outputs differ.
+func exhaustiveErrorPatterns(t *testing.T, orig, locked *circuit.Circuit, key map[string]bool) []int {
+	t.Helper()
+	pis := orig.PrimaryInputs()
+	if len(pis) > 12 {
+		t.Fatalf("too many inputs for exhaustive diff: %d", len(pis))
+	}
+	var bad []int
+	for p := 0; p < 1<<uint(len(pis)); p++ {
+		aOrig := map[int]bool{}
+		aLock := map[int]bool{}
+		for i, id := range pis {
+			v := p&(1<<uint(i)) != 0
+			aOrig[id] = v
+			id2, ok := locked.NodeByName(orig.Nodes[id].Name)
+			if !ok {
+				t.Fatalf("input %s missing from locked circuit", orig.Nodes[id].Name)
+			}
+			aLock[id2] = v
+		}
+		for name, v := range key {
+			id, ok := locked.NodeByName(name)
+			if !ok {
+				t.Fatalf("key input %s missing", name)
+			}
+			aLock[id] = v
+		}
+		o1 := orig.EvalOutputs(aOrig)
+		o2 := locked.EvalOutputs(aLock)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				bad = append(bad, p)
+				break
+			}
+		}
+	}
+	return bad
+}
+
+func TestTTLockCorrectKeyRestores(t *testing.T) {
+	orig := testcirc.Fig2a()
+	for _, optimize := range []bool{false, true} {
+		res, err := TTLock(orig, Options{KeySize: 4, Seed: 7, Optimize: optimize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(res.Locked.KeyInputs()); got != 4 {
+			t.Fatalf("key inputs = %d, want 4", got)
+		}
+		if bad := exhaustiveErrorPatterns(t, orig, res.Locked, res.Key); len(bad) != 0 {
+			t.Errorf("optimize=%v: correct key leaves %d corrupted patterns", optimize, len(bad))
+		}
+	}
+}
+
+func TestTTLockWrongKeyCorruptsTwoCubes(t *testing.T) {
+	// TTLock with a wrong key K' corrupts exactly the inputs whose
+	// selected bits equal the protected cube or equal K' (two cubes of
+	// patterns).
+	orig := testcirc.Fig2a()
+	res, err := TTLock(orig, Options{KeySize: 4, Seed: 3, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := make(map[string]bool, len(res.Key))
+	for k, v := range res.Key {
+		wrong[k] = v
+	}
+	wrong[res.KeyNames[0]] = !wrong[res.KeyNames[0]]
+	bad := exhaustiveErrorPatterns(t, orig, res.Locked, wrong)
+	// All 4 inputs are selected (keySize=4, 4 inputs), so exactly 2
+	// patterns must be corrupted: the cube and the wrong key value.
+	if len(bad) != 2 {
+		t.Errorf("wrong key corrupts %d patterns, want 2: %v", len(bad), bad)
+	}
+}
+
+func TestSFLLHD1MatchesPaperExample(t *testing.T) {
+	// With h=1 and m=4, the stripped function flips exactly the 4 inputs
+	// at Hamming distance 1 from the cube (paper Eq. 1 / Fig. 2c).
+	orig := testcirc.Fig2a()
+	res, err := SFLLHD(orig, Options{KeySize: 4, H: 1, Seed: 11, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correct key restores.
+	if bad := exhaustiveErrorPatterns(t, orig, res.Locked, res.Key); len(bad) != 0 {
+		t.Fatalf("correct key leaves corruption: %v", bad)
+	}
+	// All-complement key K' = ~Kc: HD(X,Kc)=1 flips and HD(X,~Kc)=1
+	// restores; these sets are disjoint for m=4, h=1, so 8 patterns break.
+	wrong := make(map[string]bool)
+	for k, v := range res.Key {
+		wrong[k] = !v
+	}
+	bad := exhaustiveErrorPatterns(t, orig, res.Locked, wrong)
+	if len(bad) != 8 {
+		t.Errorf("complement key corrupts %d patterns, want 8", len(bad))
+	}
+}
+
+func TestSFLLHDVariousH(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	orig := testcirc.Random(rng, 8, 60)
+	for h := 0; h <= 4; h++ {
+		res, err := SFLLHD(orig, Options{KeySize: 8, H: h, Seed: int64(h) + 100, Optimize: true})
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		if !testcirc.LockedAgreesWithOriginal(orig, res.Locked, res.Key, 200, 5) {
+			t.Errorf("h=%d: correct key does not restore function", h)
+		}
+		// A wrong key must corrupt at least one pattern among the
+		// protected-input space; check by exhaustive scan over an 8-bit
+		// selected subspace via random other bits.
+		wrong := make(map[string]bool)
+		for k, v := range res.Key {
+			wrong[k] = !v
+		}
+		if h*2 != res.H*2 { // keep compiler honest; always false
+			continue
+		}
+		if agree := testcirc.LockedAgreesWithOriginal(orig, res.Locked, wrong, 4096, 6); agree && h*4 <= 8 {
+			// For small h the corruption is rare but h<=2 with m=8 flips
+			// C(8,h) patterns out of 256, so 4096 random trials over an
+			// 8-input circuit hit one almost surely.
+			t.Errorf("h=%d: complement key appears functionally correct", h)
+		}
+	}
+}
+
+func TestSFLLKeySizeSubsetOfInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	orig := testcirc.Random(rng, 12, 80)
+	res, err := SFLLHD(orig, Options{KeySize: 6, H: 1, Seed: 9, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ProtectedInputs) != 6 {
+		t.Fatalf("protected inputs = %d, want 6", len(res.ProtectedInputs))
+	}
+	if !testcirc.LockedAgreesWithOriginal(orig, res.Locked, res.Key, 300, 8) {
+		t.Error("correct key does not restore function")
+	}
+}
+
+func TestSFLLErrors(t *testing.T) {
+	orig := testcirc.Fig2a()
+	if _, err := SFLLHD(orig, Options{KeySize: 0}); err == nil {
+		t.Error("key size 0 accepted")
+	}
+	if _, err := SFLLHD(orig, Options{KeySize: 4, H: 5}); err == nil {
+		t.Error("h > m accepted")
+	}
+	if _, err := SFLLHD(orig, Options{KeySize: 10}); err == nil {
+		t.Error("key size beyond support accepted")
+	}
+}
+
+func TestLockingIsDeterministic(t *testing.T) {
+	orig := testcirc.C17()
+	r1, err := SFLLHD(orig, Options{KeySize: 4, H: 1, Seed: 42, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SFLLHD(orig, Options{KeySize: 4, H: 1, Seed: 42, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Locked.Len() != r2.Locked.Len() {
+		t.Error("same seed produced different circuits")
+	}
+	for k, v := range r1.Key {
+		if r2.Key[k] != v {
+			t.Error("same seed produced different keys")
+		}
+	}
+	r3, err := SFLLHD(orig, Options{KeySize: 4, H: 1, Seed: 43, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for k, v := range r1.Key {
+		if r3.Key[k] != v {
+			same = false
+		}
+	}
+	if same && r1.Cube["G1"] == r3.Cube["G1"] {
+		// Different seeds *may* coincide, but cube+key identical is
+		// suspicious for a 5-bit cube; tolerate only if circuits differ.
+		t.Log("warning: different seeds gave same key (possible but unlikely)")
+	}
+}
+
+func TestRandomXOR(t *testing.T) {
+	orig := testcirc.C17()
+	res, err := RandomXOR(orig, Options{KeySize: 4, Seed: 17, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Locked.KeyInputs()); got != 4 {
+		t.Fatalf("key inputs = %d, want 4", got)
+	}
+	if bad := exhaustiveErrorPatterns(t, orig, res.Locked, res.Key); len(bad) != 0 {
+		t.Errorf("correct key leaves %d corrupted patterns", len(bad))
+	}
+	// Flipping any single key bit must corrupt something (XOR key gates
+	// invert a wire).
+	for _, kn := range res.KeyNames {
+		wrong := map[string]bool{}
+		for k, v := range res.Key {
+			wrong[k] = v
+		}
+		wrong[kn] = !wrong[kn]
+		if bad := exhaustiveErrorPatterns(t, orig, res.Locked, wrong); len(bad) == 0 {
+			t.Errorf("flipping %s leaves function intact", kn)
+		}
+	}
+}
+
+func TestSARLock(t *testing.T) {
+	orig := testcirc.Fig2a()
+	res, err := SARLock(orig, Options{KeySize: 4, Seed: 23, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := exhaustiveErrorPatterns(t, orig, res.Locked, res.Key); len(bad) != 0 {
+		t.Errorf("correct key leaves %d corrupted patterns", len(bad))
+	}
+	// Wrong key corrupts exactly the single pattern X_sel == K'.
+	wrong := map[string]bool{}
+	for k, v := range res.Key {
+		wrong[k] = !v
+	}
+	bad := exhaustiveErrorPatterns(t, orig, res.Locked, wrong)
+	if len(bad) != 1 {
+		t.Errorf("wrong key corrupts %d patterns, want exactly 1", len(bad))
+	}
+}
+
+func TestAntiSAT(t *testing.T) {
+	orig := testcirc.Fig2a()
+	res, err := AntiSAT(orig, Options{KeySize: 8, Seed: 31, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Locked.KeyInputs()); got != 8 {
+		t.Fatalf("key inputs = %d, want 8", got)
+	}
+	if bad := exhaustiveErrorPatterns(t, orig, res.Locked, res.Key); len(bad) != 0 {
+		t.Errorf("correct key leaves %d corrupted patterns", len(bad))
+	}
+	// Any key with Ka == Kb is also correct for Anti-SAT.
+	alt := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		v := i%2 == 0
+		alt[res.KeyNames[i]] = v
+		alt[res.KeyNames[4+i]] = v
+	}
+	if bad := exhaustiveErrorPatterns(t, orig, res.Locked, alt); len(bad) != 0 {
+		t.Errorf("Ka==Kb key leaves %d corrupted patterns", len(bad))
+	}
+	// Ka != Kb corrupts exactly one pattern (X = ~Ka).
+	skew := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		skew[res.KeyNames[i]] = true
+		skew[res.KeyNames[4+i]] = false
+	}
+	bad := exhaustiveErrorPatterns(t, orig, res.Locked, skew)
+	if len(bad) != 1 {
+		t.Errorf("Ka!=Kb corrupts %d patterns, want 1", len(bad))
+	}
+	if _, err := AntiSAT(orig, Options{KeySize: 7, Seed: 1}); err == nil {
+		t.Error("odd key size accepted")
+	}
+}
+
+// Property: for random circuits and random SFLL parameters, the correct
+// key always restores the original function.
+func TestQuickSFLLCorrectKey(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nIn := 6 + rng.Intn(6)
+		orig := testcirc.Random(rng, nIn, 30+rng.Intn(50))
+		m := 4 + rng.Intn(nIn-3)
+		h := rng.Intn(m/2 + 1)
+		res, err := SFLLHD(orig, Options{KeySize: m, H: h, Seed: seed, Optimize: rng.Intn(2) == 0})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return testcirc.LockedAgreesWithOriginal(orig, res.Locked, res.Key, 128, seed+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGateCountGrowsModestly(t *testing.T) {
+	// Locking adds the stripper + restoration logic; Table I shows locked
+	// sizes within ~1.2-6x of the original for these benchmarks. Sanity
+	// check that our locker's overhead is in a similar band for a small
+	// circuit.
+	rng := rand.New(rand.NewSource(77))
+	orig := testcirc.Random(rng, 16, 300)
+	res, err := SFLLHD(orig, Options{KeySize: 16, H: 2, Seed: 5, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Locked.NumGates() < orig.NumGates()/4 {
+		t.Errorf("locked circuit suspiciously small: %d vs %d", res.Locked.NumGates(), orig.NumGates())
+	}
+	if res.Locked.NumGates() > orig.NumGates()*10+600 {
+		t.Errorf("locking overhead too large: %d vs %d", res.Locked.NumGates(), orig.NumGates())
+	}
+}
+
+func TestKeyAssignmentHelper(t *testing.T) {
+	orig := testcirc.Fig2a()
+	res, err := TTLock(orig, Options{KeySize: 4, Seed: 1, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.KeyAssignment(res.Locked)
+	if len(m) != 4 {
+		t.Fatalf("assignment size = %d, want 4", len(m))
+	}
+	for id, v := range m {
+		name := res.Locked.Nodes[id].Name
+		if res.Key[name] != v {
+			t.Errorf("assignment mismatch for %s", name)
+		}
+	}
+}

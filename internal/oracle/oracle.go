@@ -1,0 +1,123 @@
+// Package oracle models I/O oracle access to an activated (unlocked) IC,
+// which the paper's adversary may use to observe the correct output for a
+// chosen input (§II-A). The simulation-backed oracle evaluates the
+// original, pre-locking netlist; it counts queries so experiments can
+// report oracle usage (the paper stresses that 90% of successful FALL
+// attacks needed zero oracle queries).
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Oracle answers input/output queries against the true circuit function.
+type Oracle interface {
+	// Query returns the outputs for the named input assignment. Missing
+	// inputs default to false.
+	Query(inputs map[string]bool) []bool
+	// OutputNames lists output names in Query result order.
+	OutputNames() []string
+	// InputNames lists the primary input names the oracle accepts.
+	InputNames() []string
+	// NumQueries reports how many times Query has been called.
+	NumQueries() int
+}
+
+// SimOracle is an Oracle backed by simulation of the original circuit.
+type SimOracle struct {
+	c       *circuit.Circuit
+	queries int
+}
+
+// NewSim wraps the original (unlocked) circuit as an oracle.
+func NewSim(original *circuit.Circuit) *SimOracle {
+	return &SimOracle{c: original}
+}
+
+// Query evaluates the original circuit on the named assignment.
+func (o *SimOracle) Query(inputs map[string]bool) []bool {
+	o.queries++
+	assign := make(map[int]bool, len(inputs))
+	for name, v := range inputs {
+		if id, ok := o.c.NodeByName(name); ok {
+			assign[id] = v
+		}
+	}
+	return o.c.EvalOutputs(assign)
+}
+
+// OutputNames lists output names in Query result order.
+func (o *SimOracle) OutputNames() []string {
+	names := make([]string, len(o.c.Outputs))
+	for i, id := range o.c.Outputs {
+		names[i] = o.c.Nodes[id].Name
+	}
+	return names
+}
+
+// InputNames lists the primary input names of the original circuit.
+func (o *SimOracle) InputNames() []string {
+	ids := o.c.PrimaryInputs()
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = o.c.Nodes[id].Name
+	}
+	return names
+}
+
+// NumQueries reports how many times Query has been called.
+func (o *SimOracle) NumQueries() int { return o.queries }
+
+// CheckKey verifies by random simulation that the locked circuit under
+// the given key agrees with the oracle on n random input patterns; it
+// returns the first disagreeing pattern as an error. This is a testing
+// utility, not part of any attack (an attacker validating a key this way
+// would be using the oracle).
+func CheckKey(locked *circuit.Circuit, orc Oracle, key map[string]bool, n int, seed int64) error {
+	rng := newSplitMix(uint64(seed))
+	piNames := orc.InputNames()
+	for trial := 0; trial < n; trial++ {
+		inputs := make(map[string]bool, len(piNames))
+		for _, nm := range piNames {
+			inputs[nm] = rng.next()&1 == 1
+		}
+		want := orc.Query(inputs)
+		assign := make(map[int]bool)
+		for nm, v := range inputs {
+			if id, ok := locked.NodeByName(nm); ok {
+				assign[id] = v
+			}
+		}
+		for nm, v := range key {
+			if id, ok := locked.NodeByName(nm); ok {
+				assign[id] = v
+			}
+		}
+		got := locked.EvalOutputs(assign)
+		if len(got) != len(want) {
+			return fmt.Errorf("oracle: output arity mismatch: locked %d, oracle %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("oracle: key disagrees on trial %d, output %d (inputs %v)", trial, i, inputs)
+			}
+		}
+	}
+	return nil
+}
+
+// splitMix is a tiny deterministic PRNG so CheckKey does not depend on
+// math/rand ordering guarantees.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,73 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/testcirc"
+)
+
+func TestSimOracleQueries(t *testing.T) {
+	orig := testcirc.Fig2a()
+	o := NewSim(orig)
+	if o.NumQueries() != 0 {
+		t.Error("fresh oracle has queries")
+	}
+	out := o.Query(map[string]bool{"a": true, "b": true})
+	if len(out) != 1 || !out[0] {
+		t.Errorf("query(a=1,b=1) = %v, want [true]", out)
+	}
+	out = o.Query(map[string]bool{"d": false})
+	if out[0] {
+		t.Errorf("query(all 0) = %v, want [false]", out)
+	}
+	if o.NumQueries() != 2 {
+		t.Errorf("queries = %d, want 2", o.NumQueries())
+	}
+	if got := o.InputNames(); len(got) != 4 {
+		t.Errorf("input names = %v", got)
+	}
+	if got := o.OutputNames(); len(got) != 1 || got[0] != "y" {
+		t.Errorf("output names = %v", got)
+	}
+}
+
+func TestCheckKeyAcceptsCorrectKey(t *testing.T) {
+	orig := testcirc.Fig2a()
+	res, err := lock.TTLock(orig, lock.Options{KeySize: 4, Seed: 2, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewSim(orig)
+	if err := CheckKey(res.Locked, o, res.Key, 64, 1); err != nil {
+		t.Errorf("correct key rejected: %v", err)
+	}
+}
+
+func TestCheckKeyRejectsWrongKey(t *testing.T) {
+	orig := testcirc.Fig2a()
+	res, err := lock.TTLock(orig, lock.Options{KeySize: 4, Seed: 2, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := map[string]bool{}
+	for k, v := range res.Key {
+		wrong[k] = !v
+	}
+	o := NewSim(orig)
+	// TTLock wrong-key corruption hits 2 of 16 patterns; 256 random
+	// patterns of 4 inputs will cover the space.
+	if err := CheckKey(res.Locked, o, wrong, 256, 1); err == nil {
+		t.Error("wrong key accepted by CheckKey")
+	}
+}
+
+func TestCheckKeyUnknownInputsIgnored(t *testing.T) {
+	orig := testcirc.C17()
+	o := NewSim(orig)
+	// Querying with unknown names silently ignores them.
+	out := o.Query(map[string]bool{"nonexistent": true})
+	if len(out) != 2 {
+		t.Errorf("outputs = %d, want 2", len(out))
+	}
+}

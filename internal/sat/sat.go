@@ -1,0 +1,811 @@
+// Package sat implements a CDCL (conflict-driven clause learning) Boolean
+// satisfiability solver in the MiniSat lineage: two-literal watching, VSIDS
+// variable activity with an indexed heap, phase saving, first-UIP conflict
+// analysis with clause minimization, Luby restarts, LBD-aware learnt-clause
+// database reduction, and incremental solving under assumptions.
+//
+// It replaces the Lingeling solver used by the paper's prototype. All
+// attack queries in this repository (comparator identification, unateness,
+// sliding window, equivalence miters, SAT attack, key confirmation) run
+// through this solver.
+package sat
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Lit is a literal: variable index shifted left once, low bit set for
+// negation. Variables are numbered from 0.
+type Lit int32
+
+// LitUndef is the sentinel "no literal" value.
+const LitUndef Lit = -1
+
+// MkLit constructs a literal for variable v, negated if neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of variable v.
+func PosLit(v int) Lit { return MkLit(v, false) }
+
+// NegLit returns the negative literal of variable v.
+func NegLit(v int) Lit { return MkLit(v, true) }
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// String formats the literal as e.g. "x3" or "~x3".
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	if l.Sign() {
+		return fmt.Sprintf("~x%d", l.Var())
+	}
+	return fmt.Sprintf("x%d", l.Var())
+}
+
+// Status is a solver verdict.
+type Status int
+
+// Solver verdicts. Unknown is returned when a conflict or time budget is
+// exhausted before a verdict is reached.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (st Status) String() string {
+	switch st {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// lbool is a lifted Boolean: +1 true, -1 false, 0 undefined.
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+type clause struct {
+	lits     []Lit
+	activity float64
+	lbd      int32
+	learnt   bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Stats collects solver counters for benchmarking and diagnostics.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+	Removed      int64
+	SolveCalls   int64
+}
+
+// Solver is an incremental CDCL SAT solver. Create with New, add variables
+// with NewVar and clauses with AddClause, then call Solve or SolveAssuming
+// any number of times, adding more variables/clauses between calls.
+type Solver struct {
+	// Problem.
+	clauses []*clause // original clauses
+	learnts []*clause // learnt clauses
+	ok      bool      // false once a top-level conflict is found
+
+	// Assignment state.
+	value    []lbool // per variable
+	level    []int32 // per variable, decision level of assignment
+	reason   []*clause
+	trail    []Lit
+	trailLim []int // trail length at each decision level
+	qhead    int
+
+	// Watches, indexed by literal.
+	watches [][]watcher
+
+	// VSIDS.
+	activity []float64
+	varInc   float64
+	heap     varHeap
+	polarity []bool // saved phases; true = last assigned false
+
+	// Conflict analysis scratch.
+	seen    []bool
+	toClear []int
+
+	// Clause activity.
+	claInc       float64
+	maxLearnts   float64
+	learntGrowth float64
+
+	// Budgets.
+	conflictLimit int64 // 0 = unlimited
+	deadline      time.Time
+	interrupt     *atomic.Bool // optional external cancellation
+
+	model []lbool // last satisfying assignment
+
+	// Stats holds cumulative counters across Solve calls.
+	Stats Stats
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		ok:           true,
+		varInc:       1.0,
+		claInc:       1.0,
+		learntGrowth: 1.1,
+	}
+	s.heap.activity = &s.activity
+	return s
+}
+
+// NewVar introduces a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.value)
+	s.value = append(s.value, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(v)
+	return v
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.value) }
+
+// NumClauses returns the number of original (non-learnt) clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// SetConflictLimit bounds the number of conflicts per Solve call;
+// 0 removes the bound. When exceeded, Solve returns Unknown.
+func (s *Solver) SetConflictLimit(n int64) { s.conflictLimit = n }
+
+// SetDeadline sets a wall-clock deadline checked periodically during
+// search; a zero time removes it. When exceeded, Solve returns Unknown.
+func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
+
+// SetInterrupt registers an external cancellation flag, checked at the
+// same points as the deadline: when flag becomes true, the current and
+// any subsequent Solve calls return Unknown until the flag is cleared.
+// Safe to set from other goroutines (the flag itself is atomic).
+func (s *Solver) SetInterrupt(flag *atomic.Bool) { s.interrupt = flag }
+
+func (s *Solver) litValue(l Lit) lbool {
+	v := s.value[l.Var()]
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a clause over the given literals. It returns false if the
+// solver is already in an unsatisfiable state (now or as a result of this
+// clause). Duplicate literals are removed; tautologies are ignored.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Sort/uniq and check for tautology or satisfied/falsified literals.
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if l.Var() >= len(s.value) || l < 0 {
+			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
+		}
+		switch s.litValue(l) {
+		case lTrue:
+			return true // clause already satisfied at top level
+		case lFalse:
+			continue // drop falsified literal
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Neg() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].Neg(), c)
+	s.removeWatch(c.lits[1].Neg(), c)
+}
+
+func (s *Solver) removeWatch(l Lit, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Sign() {
+		s.value[v] = lFalse
+	} else {
+		s.value[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	var confl *clause
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		// Clauses watching ~p (now false) are registered under watches[p]
+		// per the attach convention watches[lit.Neg()].
+		falseLit := p.Neg()
+		ws := s.watches[p]
+		j := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			// Blocker check avoids touching the clause.
+			if s.litValue(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			lits := c.lits
+			// Ensure the false literal is lits[1].
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[j] = watcher{c, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(lits); k++ {
+				if s.litValue(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c, first}
+			j++
+			if s.litValue(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+				// Copy remaining watchers back.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:j]
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.value[v] == lFalse
+		s.value[v] = lUndef
+		s.reason[v] = nil
+		s.heap.insertIfAbsent(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) varBump(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) varDecay() { s.varInc /= 0.95 }
+
+func (s *Solver) claBump(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) claDecay() { s.claInc /= 0.999 }
+
+// analyze performs first-UIP conflict analysis and returns the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{LitUndef} // slot 0 reserved for the asserting literal
+	pathC := 0
+	p := LitUndef
+	idx := len(s.trail) - 1
+	for {
+		lits := confl.lits
+		start := 0
+		if p != LitUndef {
+			start = 1
+		}
+		if confl.learnt {
+			s.claBump(confl)
+		}
+		for _, q := range lits[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.toClear = append(s.toClear, v)
+				s.varBump(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Neg()
+
+	// Basic clause minimization: drop literals whose reason clause is
+	// entirely covered by the remaining literals.
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		r := s.reason[v]
+		if r == nil {
+			learnt[j] = learnt[i]
+			j++
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits[1:] {
+			if !s.seen[q.Var()] && s.level[q.Var()] > 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	// Clear seen flags.
+	for _, v := range s.toClear {
+		s.seen[v] = false
+	}
+	s.toClear = s.toClear[:0]
+
+	// Backtrack level: highest level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	return learnt, btLevel
+}
+
+// computeLBD returns the number of distinct decision levels in the clause,
+// the "literal block distance" quality measure.
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	levels := make(map[int32]struct{}, len(lits))
+	for _, l := range lits {
+		levels[s.level[l.Var()]] = struct{}{}
+	}
+	return int32(len(levels))
+}
+
+func (s *Solver) reduceDB() {
+	// Sort learnts: keep low LBD and high activity. Simple selection:
+	// partition by median activity among clauses with lbd > 2.
+	if len(s.learnts) == 0 {
+		return
+	}
+	cand := make([]*clause, 0, len(s.learnts))
+	kept := make([]*clause, 0, len(s.learnts))
+	for _, c := range s.learnts {
+		if c.lbd <= 2 || len(c.lits) == 2 || s.locked(c) {
+			kept = append(kept, c)
+		} else {
+			cand = append(cand, c)
+		}
+	}
+	// Remove the lower-activity half of the candidates.
+	sortClausesByActivity(cand)
+	cut := len(cand) / 2
+	for i, c := range cand {
+		if i < cut {
+			s.detach(c)
+			s.Stats.Removed++
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) locked(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.reason[v] == c && s.value[v] != lUndef
+}
+
+func sortClausesByActivity(cs []*clause) {
+	// Insertion-friendly shellsort to avoid pulling in sort.Slice closures
+	// on a hot path; sizes here are modest.
+	for gap := len(cs) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(cs); i++ {
+			c := cs[i]
+			j := i
+			for ; j >= gap && cs[j-gap].activity > c.activity; j -= gap {
+				cs[j] = cs[j-gap]
+			}
+			cs[j] = c
+		}
+	}
+}
+
+// luby returns the Luby sequence value for index i (1-based), used to
+// schedule restarts.
+func luby(i int64) int64 {
+	// Find the finite subsequence that contains index i, and the size of
+	// that subsequence.
+	var size, seq int64 = 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	return int64(1) << uint(seq)
+}
+
+// search runs CDCL until a verdict or until nofConflicts conflicts occur
+// (negative = unlimited). assumptions are enqueued as pseudo-decisions.
+func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
+	conflicts := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.claBump(c)
+				s.uncheckedEnqueue(learnt[0], c)
+				s.Stats.Learnt++
+			}
+			s.varDecay()
+			s.claDecay()
+			continue
+		}
+		// No conflict.
+		if nofConflicts >= 0 && conflicts >= nofConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if s.budgetExceeded() {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if float64(len(s.learnts)) > s.maxLearnts {
+			s.reduceDB()
+		}
+		// Enqueue assumptions as pseudo-decisions.
+		next := LitUndef
+		for s.decisionLevel() < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.litValue(p) {
+			case lTrue:
+				s.newDecisionLevel() // dummy level, already satisfied
+			case lFalse:
+				return Unsat // conflicts with assumptions
+			default:
+				next = p
+			}
+			if next != LitUndef {
+				break
+			}
+		}
+		if next == LitUndef {
+			// Regular decision.
+			v := s.pickBranchVar()
+			if v < 0 {
+				// All variables assigned: model found.
+				s.model = append(s.model[:0], s.value...)
+				return Sat
+			}
+			s.Stats.Decisions++
+			next = MkLit(v, s.polarity[v])
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+func (s *Solver) pickBranchVar() int {
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.value[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+func (s *Solver) budgetExceeded() bool {
+	if s.interrupt != nil && s.interrupt.Load() {
+		return true
+	}
+	if s.conflictLimit > 0 && s.Stats.Conflicts >= s.conflictLimit {
+		return true
+	}
+	if !s.deadline.IsZero() && s.Stats.Conflicts%256 == 0 && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+// Solve determines satisfiability of the current clause set.
+func (s *Solver) Solve() Status { return s.SolveAssuming(nil) }
+
+// SolveAssuming determines satisfiability under the given assumption
+// literals. The assumptions hold only for this call. Clauses learned
+// during the call persist, making repeated calls incremental.
+func (s *Solver) SolveAssuming(assumptions []Lit) Status {
+	s.Stats.SolveCalls++
+	if !s.ok {
+		return Unsat
+	}
+	if s.maxLearnts == 0 {
+		s.maxLearnts = float64(len(s.clauses)) / 3
+		if s.maxLearnts < 2000 {
+			s.maxLearnts = 2000
+		}
+	}
+	baseConflicts := s.conflictLimit
+	if baseConflicts > 0 {
+		baseConflicts += s.Stats.Conflicts // limit is per call
+		defer func(prev int64) { s.conflictLimit = prev }(s.conflictLimit)
+		s.conflictLimit = baseConflicts
+	}
+	status := Unknown
+	for restart := int64(1); status == Unknown; restart++ {
+		budget := luby(restart) * 100
+		status = s.search(budget, assumptions)
+		s.Stats.Restarts++
+		if status == Unknown && s.budgetExceeded() {
+			break
+		}
+		if status == Unknown {
+			s.maxLearnts *= s.learntGrowth
+		}
+	}
+	s.cancelUntil(0)
+	return status
+}
+
+// Value returns the value of variable v in the last satisfying assignment.
+// Unassigned variables (possible for variables created after the last
+// Solve) report false.
+func (s *Solver) Value(v int) bool {
+	if v >= len(s.model) {
+		return false
+	}
+	return s.model[v] == lTrue
+}
+
+// LitTrue reports whether literal l is true in the last model.
+func (s *Solver) LitTrue(l Lit) bool {
+	val := s.Value(l.Var())
+	if l.Sign() {
+		return !val
+	}
+	return val
+}
+
+// varHeap is a max-heap of variables ordered by activity, with an index
+// map for decrease/increase-key.
+type varHeap struct {
+	data     []int
+	indices  []int // var -> position in data, -1 if absent
+	activity *[]float64
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return (*h.activity)[h.data[a]] > (*h.activity)[h.data[b]]
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.data[a], h.data[b] = h.data[b], h.data[a]
+	h.indices[h.data[a]] = a
+	h.indices[h.data[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) insert(v int) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.data = append(h.data, v)
+	h.indices[v] = len(h.data) - 1
+	h.up(len(h.data) - 1)
+}
+
+func (h *varHeap) insertIfAbsent(v int) { h.insert(v) }
+
+func (h *varHeap) update(v int) {
+	if v < len(h.indices) && h.indices[v] >= 0 {
+		h.up(h.indices[v])
+		h.down(h.indices[v])
+	}
+}
+
+func (h *varHeap) empty() bool { return len(h.data) == 0 }
+
+func (h *varHeap) pop() int {
+	v := h.data[0]
+	last := len(h.data) - 1
+	h.swap(0, last)
+	h.data = h.data[:last]
+	h.indices[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}

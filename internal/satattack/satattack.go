@@ -1,0 +1,187 @@
+// Package satattack implements the oracle-guided SAT attack of
+// Subramanyan, Ray & Malik (HOST 2015), the baseline the paper compares
+// against ([22, 23]). The attack maintains a miter of two copies of the
+// locked circuit sharing primary inputs but with independent keys; each
+// satisfying assignment yields a distinguishing input, whose oracle
+// response prunes the key space until no distinguishing input remains.
+//
+// On stripped-functionality locking (TTLock, SFLL-HD, SARLock, Anti-SAT)
+// each distinguishing input eliminates only a sliver of the key space, so
+// the attack needs exponentially many iterations — this is precisely the
+// SAT-resilience the FALL attack circumvents.
+package satattack
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/oracle"
+	"repro/internal/sat"
+)
+
+// Result reports a SAT attack run.
+type Result struct {
+	// Key is the recovered key (key input name -> value); nil unless
+	// Solved.
+	Key map[string]bool
+	// Solved is true when the attack converged (no distinguishing input
+	// remains) and extracted a key.
+	Solved bool
+	// TimedOut is true when the deadline expired first.
+	TimedOut bool
+	// Iterations counts distinguishing inputs queried.
+	Iterations int
+	// OracleQueries counts oracle calls made by this run.
+	OracleQueries int
+	// Elapsed is the total attack time.
+	Elapsed time.Duration
+}
+
+// Run executes the SAT attack on the locked circuit using the oracle.
+// deadline zero means no limit. MaxIterations <= 0 means unlimited.
+func Run(locked *circuit.Circuit, orc oracle.Oracle, deadline time.Time, maxIterations int) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	pis := locked.PrimaryInputs()
+	keys := locked.KeyInputs()
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("satattack: circuit has no key inputs")
+	}
+	outIdx, err := outputIndex(locked, orc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Miter solver Q.
+	q := sat.New()
+	if !deadline.IsZero() {
+		q.SetDeadline(deadline)
+	}
+	qe := cnf.NewEncoder(q)
+	lits1 := qe.EncodeCircuitWith(locked, nil)
+	shared := make(map[int]sat.Lit, len(pis))
+	for _, pi := range pis {
+		shared[pi] = lits1[pi]
+	}
+	lits2 := qe.EncodeCircuitWith(locked, shared)
+	qe.NotEqual(cnf.EncodedOutputs(locked, lits1), cnf.EncodedOutputs(locked, lits2))
+	k1 := cnf.InputLits(keys, lits1)
+	k2 := cnf.InputLits(keys, lits2)
+
+	// Key-extraction solver P accumulates I/O constraints on one key copy.
+	p := sat.New()
+	if !deadline.IsZero() {
+		p.SetDeadline(deadline)
+	}
+	pe := cnf.NewEncoder(p)
+	kp := make([]sat.Lit, len(keys))
+	givenP := make(map[int]sat.Lit, len(keys))
+	for i, k := range keys {
+		kp[i] = pe.NewLit()
+		givenP[k] = kp[i]
+	}
+
+	for {
+		if maxIterations > 0 && res.Iterations >= maxIterations {
+			res.TimedOut = true
+			break
+		}
+		switch q.Solve() {
+		case sat.Unknown:
+			res.TimedOut = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		case sat.Unsat:
+			// Converged: any key consistent with the observations is
+			// correct.
+			res.Elapsed = time.Since(start)
+			return extractKey(locked, p, kp, keys, res, start)
+		}
+		res.Iterations++
+		// Distinguishing input from the model.
+		xd := make(map[string]bool, len(pis))
+		for _, pi := range pis {
+			xd[locked.Nodes[pi].Name] = q.LitTrue(lits1[pi])
+		}
+		yd := orc.Query(xd)
+		res.OracleQueries++
+		// Constrain both key copies in Q and the key in P to reproduce
+		// the oracle response on xd.
+		addIOConstraint(qe, locked, xd, yd, outIdx, keyGiven(keys, k1))
+		addIOConstraint(qe, locked, xd, yd, outIdx, keyGiven(keys, k2))
+		addIOConstraint(pe, locked, xd, yd, outIdx, givenP)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func keyGiven(keys []int, lits []sat.Lit) map[int]sat.Lit {
+	m := make(map[int]sat.Lit, len(keys))
+	for i, k := range keys {
+		m[k] = lits[i]
+	}
+	return m
+}
+
+// addIOConstraint encodes a fresh copy of the locked circuit with primary
+// inputs fixed to xd, key inputs tied to the given key literals, and
+// outputs fixed to the oracle response yd.
+func addIOConstraint(e *cnf.Encoder, locked *circuit.Circuit, xd map[string]bool, yd []bool, outIdx []int, keyLits map[int]sat.Lit) {
+	given := make(map[int]sat.Lit, len(xd)+len(keyLits))
+	for k, v := range keyLits {
+		given[k] = v
+	}
+	for _, pi := range locked.PrimaryInputs() {
+		given[pi] = e.ConstLit(xd[locked.Nodes[pi].Name])
+	}
+	lits := e.EncodeCircuitWith(locked, given)
+	for i, o := range locked.Outputs {
+		e.Fix(lits[o], yd[outIdx[i]])
+	}
+}
+
+// outputIndex maps locked-circuit output positions to oracle output
+// positions by name.
+func outputIndex(locked *circuit.Circuit, orc oracle.Oracle) ([]int, error) {
+	names := orc.OutputNames()
+	byName := make(map[string]int, len(names))
+	for i, n := range names {
+		byName[n] = i
+	}
+	idx := make([]int, len(locked.Outputs))
+	for i, o := range locked.Outputs {
+		n := locked.Nodes[o].Name
+		j, ok := byName[n]
+		if !ok {
+			// Outputs may have been renamed by optimization shims
+			// (e.g. "_out" suffix); fall back to positional mapping.
+			if i < len(names) {
+				j = i
+			} else {
+				return nil, fmt.Errorf("satattack: output %q not known to oracle", n)
+			}
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+func extractKey(locked *circuit.Circuit, p *sat.Solver, kp []sat.Lit, keys []int, res *Result, start time.Time) (*Result, error) {
+	switch p.Solve() {
+	case sat.Unknown:
+		res.TimedOut = true
+		res.Elapsed = time.Since(start)
+		return res, nil
+	case sat.Unsat:
+		return nil, fmt.Errorf("satattack: key constraints unsatisfiable (oracle/netlist mismatch)")
+	}
+	res.Key = make(map[string]bool, len(keys))
+	for i, k := range keys {
+		res.Key[locked.Nodes[k].Name] = p.LitTrue(kp[i])
+	}
+	res.Solved = true
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

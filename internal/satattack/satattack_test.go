@@ -1,0 +1,125 @@
+package satattack
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/oracle"
+	"repro/internal/testcirc"
+)
+
+func TestSATAttackOnRLL(t *testing.T) {
+	// Random XOR locking is the classic SAT attack victim: few
+	// equivalence classes, quick convergence.
+	rng := rand.New(rand.NewSource(3))
+	orig := testcirc.Random(rng, 8, 60)
+	lr, err := lock.RandomXOR(orig, lock.Options{KeySize: 8, Seed: 5, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewSim(orig)
+	res, err := Run(lr.Locked, orc, time.Now().Add(30*time.Second), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("attack did not converge: %+v", res)
+	}
+	// The recovered key need not equal the planted key bit-for-bit, but
+	// must unlock the circuit.
+	if err := oracle.CheckKey(lr.Locked, oracle.NewSim(orig), res.Key, 256, 1); err != nil {
+		t.Errorf("recovered key is wrong: %v", err)
+	}
+	if res.Iterations == 0 {
+		t.Log("note: converged with zero distinguishing inputs")
+	}
+}
+
+func TestSATAttackOnSmallTTLock(t *testing.T) {
+	// With a tiny key space (2^4) the SAT attack still wins, needing
+	// about one distinguishing input per wrong key.
+	orig := testcirc.Fig2a()
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: 4, Seed: 7, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewSim(orig)
+	res, err := Run(lr.Locked, orc, time.Now().Add(30*time.Second), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("attack did not converge: %+v", res)
+	}
+	if err := oracle.CheckKey(lr.Locked, oracle.NewSim(orig), res.Key, 256, 2); err != nil {
+		t.Errorf("recovered key is wrong: %v", err)
+	}
+}
+
+func TestSATAttackResilienceOfSFLL(t *testing.T) {
+	// The headline phenomenon: on SFLL with a moderate key, the SAT
+	// attack burns one iteration per wrong key. With a 20-bit key and an
+	// iteration cap it cannot finish — this is the "SAT-resilient" shape
+	// of the paper's Fig. 5.
+	rng := rand.New(rand.NewSource(9))
+	orig := testcirc.Random(rng, 22, 150)
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: 20, Seed: 11, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewSim(orig)
+	res, err := Run(lr.Locked, orc, time.Now().Add(20*time.Second), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Fatalf("SAT attack should not defeat 2^20 TTLock in 64 iterations; got key after %d", res.Iterations)
+	}
+	if !res.TimedOut {
+		t.Error("expected iteration cap to fire")
+	}
+}
+
+func TestSATAttackNoKeys(t *testing.T) {
+	orig := testcirc.Fig2a()
+	if _, err := Run(orig, oracle.NewSim(orig), time.Time{}, 0); err == nil {
+		t.Error("circuit without keys accepted")
+	}
+}
+
+func TestSATAttackDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	orig := testcirc.Random(rng, 18, 120)
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: 16, Seed: 3, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(lr.Locked, oracle.NewSim(orig), time.Now().Add(-time.Second), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Error("expired deadline did not stop the attack")
+	}
+}
+
+func TestSATAttackCountsOracleQueries(t *testing.T) {
+	orig := testcirc.Fig2a()
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: 4, Seed: 7, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewSim(orig)
+	res, err := Run(lr.Locked, orc, time.Now().Add(30*time.Second), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleQueries != orc.NumQueries() {
+		t.Errorf("result reports %d queries, oracle counted %d", res.OracleQueries, orc.NumQueries())
+	}
+	if res.OracleQueries != res.Iterations {
+		t.Errorf("one query per iteration expected: %d vs %d", res.OracleQueries, res.Iterations)
+	}
+}

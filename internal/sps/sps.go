@@ -1,0 +1,176 @@
+// Package sps implements the signal probability skew (SPS) attack of
+// Yasin et al. [30], the removal attack that defeated Anti-SAT (paper
+// §I). The Anti-SAT block's flip signal g(X⊕Ka) ∧ ¬g(X⊕Kb) has a signal
+// probability extremely close to 0 under random keys; the attack locates
+// the most skewed key-dependent node and bypasses it (rewires it to
+// constant 0), recovering the protected function without learning the
+// key.
+//
+// On TTLock/SFLL the same bypass recovers only the functionality-stripped
+// circuit, which differs from the original on the protected cube — this
+// package's tests document exactly that resilience property, which is why
+// the FALL attack (internal/fall) was needed in the first place.
+package sps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// Candidate is a scored flip-signal candidate.
+type Candidate struct {
+	Node int
+	// Prob is the sampled signal probability P[node = 1].
+	Prob float64
+	// Skew is |Prob - 0.5|; the Anti-SAT flip signal approaches 0.5.
+	Skew float64
+}
+
+// Result reports an SPS attack run.
+type Result struct {
+	// FlipNode is the node identified as the flip signal.
+	FlipNode int
+	// Prob is its sampled signal probability.
+	Prob float64
+	// Recovered is the locked circuit with the flip node bypassed
+	// (forced to constant 0). Key inputs remain but are inert if the
+	// identification was correct.
+	Recovered *circuit.Circuit
+	// Candidates lists all scored candidates, most skewed first.
+	Candidates []Candidate
+}
+
+// Attack estimates signal probabilities with words*64 random patterns
+// (inputs and keys random) and bypasses the most-skewed node whose
+// support covers every key input.
+func Attack(locked *circuit.Circuit, words int, seed int64) (*Result, error) {
+	keys := locked.KeyInputs()
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("sps: circuit has no key inputs")
+	}
+	if words <= 0 {
+		words = 256
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ones := make([]float64, locked.Len())
+	vals := make([]uint64, locked.Len())
+	for w := 0; w < words; w++ {
+		for _, in := range locked.Inputs() {
+			vals[in] = rng.Uint64()
+		}
+		locked.Simulate(vals)
+		for id := range vals {
+			ones[id] += float64(popcount(vals[id]))
+		}
+	}
+	total := float64(words * 64)
+
+	// Candidates: non-input nodes whose support includes every key input
+	// (the flip signal merges both Anti-SAT halves).
+	keySet := map[int]bool{}
+	for _, k := range keys {
+		keySet[k] = true
+	}
+	var cands []Candidate
+	for id := range locked.Nodes {
+		if locked.Nodes[id].Type == circuit.Input {
+			continue
+		}
+		covered := 0
+		for _, s := range locked.Support(id) {
+			if keySet[s] {
+				covered++
+			}
+		}
+		if covered != len(keys) {
+			continue
+		}
+		p := ones[id] / total
+		skew := p
+		if 1-p < skew {
+			skew = 1 - p
+		}
+		cands = append(cands, Candidate{Node: id, Prob: p, Skew: 0.5 - skew})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("sps: no node depends on all %d key inputs", len(keys))
+	}
+	// Most skewed first; prefer smaller node id (earlier in topological
+	// order, i.e. the flip signal itself rather than logic built on it).
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Skew != cands[j].Skew {
+			return cands[i].Skew > cands[j].Skew
+		}
+		return cands[i].Node < cands[j].Node
+	})
+
+	// Try candidates in skew order; accept the first whose bypass makes
+	// the circuit key-independent (checkable by simulation alone, no
+	// oracle: compare outputs under two random keys). Sibling nodes of
+	// the flip signal inside the output XOR structure can tie on skew
+	// but fail this check.
+	for _, cand := range cands {
+		recovered := bypass(locked, cand)
+		if keyIndependent(recovered, rng, 64) {
+			return &Result{
+				FlipNode:   cand.Node,
+				Prob:       cand.Prob,
+				Recovered:  recovered,
+				Candidates: cands,
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("sps: no bypass of %d candidates removed the key dependence", len(cands))
+}
+
+// bypass forces the candidate node to its dominant constant value.
+func bypass(locked *circuit.Circuit, cand Candidate) *circuit.Circuit {
+	recovered := locked.Clone()
+	recovered.Name = locked.Name + "_sps_recovered"
+	recovered.Nodes[cand.Node].Type = circuit.Const0
+	if cand.Prob >= 0.5 {
+		recovered.Nodes[cand.Node].Type = circuit.Const1
+	}
+	recovered.Nodes[cand.Node].Fanins = nil
+	return recovered
+}
+
+// keyIndependent reports whether the circuit's outputs agree under two
+// independent random key assignments across words*64 random input
+// patterns.
+func keyIndependent(c *circuit.Circuit, rng *rand.Rand, words int) bool {
+	v1 := make([]uint64, c.Len())
+	v2 := make([]uint64, c.Len())
+	for w := 0; w < words; w++ {
+		for _, in := range c.Inputs() {
+			if c.Nodes[in].IsKey {
+				v1[in] = rng.Uint64()
+				v2[in] = rng.Uint64()
+			} else {
+				r := rng.Uint64()
+				v1[in] = r
+				v2[in] = r
+			}
+		}
+		c.Simulate(v1)
+		c.Simulate(v2)
+		for _, o := range c.Outputs {
+			if v1[o] != v2[o] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,97 @@
+package sps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/testcirc"
+)
+
+func TestSPSDefeatsAntiSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := testcirc.Random(rng, 10, 80)
+	lr, err := lock.AntiSAT(orig, lock.Options{KeySize: 12, Seed: 3, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(lr.Locked, 256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flip signal is nearly always 0 under random keys.
+	if res.Prob > 0.05 && res.Prob < 0.95 {
+		t.Errorf("identified node has probability %v; expected extreme skew", res.Prob)
+	}
+	// The bypassed circuit must equal the original regardless of keys.
+	if !testcirc.LockedAgreesWithOriginal(orig, res.Recovered, map[string]bool{}, 512, 9) {
+		t.Error("SPS-recovered circuit differs from the original (with keys at 0)")
+	}
+	randomKey := map[string]bool{}
+	for _, name := range lr.KeyNames {
+		randomKey[name] = rng.Intn(2) == 1
+	}
+	if !testcirc.LockedAgreesWithOriginal(orig, res.Recovered, randomKey, 512, 11) {
+		t.Error("SPS-recovered circuit still depends on the key")
+	}
+}
+
+func TestSPSDoesNotDefeatTTLock(t *testing.T) {
+	// The paper's motivation: SFLL/TTLock resists removal attacks because
+	// bypassing the restoration unit leaves the functionality-stripped
+	// circuit, which differs from the original on the protected cube.
+	orig := testcirc.Fig2a()
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: 4, Seed: 5, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(lr.Locked, 512, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustively compare the recovered circuit with the original: it
+	// must differ on at least one input pattern (the protected cube).
+	differs := false
+	for p := 0; p < 16; p++ {
+		aOrig := map[int]bool{}
+		aRec := map[int]bool{}
+		for i, id := range orig.PrimaryInputs() {
+			v := p&(1<<uint(i)) != 0
+			aOrig[id] = v
+			if id2, ok := res.Recovered.NodeByName(orig.Nodes[id].Name); ok {
+				aRec[id2] = v
+			}
+		}
+		if orig.EvalOutputs(aOrig)[0] != res.Recovered.EvalOutputs(aRec)[0] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("SPS unexpectedly recovered a TTLock-protected circuit exactly")
+	}
+}
+
+func TestSPSErrors(t *testing.T) {
+	orig := testcirc.Fig2a()
+	if _, err := Attack(orig, 16, 1); err == nil {
+		t.Error("circuit without keys accepted")
+	}
+}
+
+func TestSPSCandidatesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	orig := testcirc.Random(rng, 8, 60)
+	lr, err := lock.AntiSAT(orig, lock.Options{KeySize: 8, Seed: 4, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(lr.Locked, 128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Candidates); i++ {
+		if res.Candidates[i-1].Skew < res.Candidates[i].Skew {
+			t.Fatal("candidates not sorted by skew")
+		}
+	}
+}

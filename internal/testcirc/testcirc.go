@@ -1,0 +1,160 @@
+// Package testcirc provides circuit constructors and equivalence helpers
+// shared by test suites across the repository. It is not part of the
+// public attack/lock API.
+package testcirc
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Fig2a builds the paper's running example circuit (Fig. 2a):
+// y = (a AND b) OR (b AND c) OR (c AND a) OR d.
+func Fig2a() *circuit.Circuit {
+	c := circuit.New("fig2a")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	cc := c.AddInput("c")
+	d := c.AddInput("d")
+	ab := c.MustGate("ab", circuit.And, a, b)
+	bc := c.MustGate("bc", circuit.And, b, cc)
+	ca := c.MustGate("ca", circuit.And, cc, a)
+	y := c.MustGate("y", circuit.Or, ab, bc, ca, d)
+	c.MarkOutput(y)
+	return c
+}
+
+// C17 builds the smallest ISCAS'85 benchmark (6 NAND gates).
+func C17() *circuit.Circuit {
+	c := circuit.New("c17")
+	g1 := c.AddInput("G1")
+	g2 := c.AddInput("G2")
+	g3 := c.AddInput("G3")
+	g6 := c.AddInput("G6")
+	g7 := c.AddInput("G7")
+	g10 := c.MustGate("G10", circuit.Nand, g1, g3)
+	g11 := c.MustGate("G11", circuit.Nand, g3, g6)
+	g16 := c.MustGate("G16", circuit.Nand, g2, g11)
+	g19 := c.MustGate("G19", circuit.Nand, g11, g7)
+	g22 := c.MustGate("G22", circuit.Nand, g10, g16)
+	g23 := c.MustGate("G23", circuit.Nand, g16, g19)
+	c.MarkOutput(g22)
+	c.MarkOutput(g23)
+	return c
+}
+
+// Random builds a random layered combinational circuit with nIn inputs and
+// nGates gates whose last gate is an output. An XOR "spine" threads all
+// inputs through the circuit so the output's support covers every input,
+// which locking requires.
+func Random(rng *rand.Rand, nIn, nGates int) *circuit.Circuit {
+	c := circuit.New("rand")
+	ins := make([]int, nIn)
+	for i := range ins {
+		ins[i] = c.AddInput("")
+	}
+	ids := append([]int(nil), ins...)
+	// Spine: acc accumulates all inputs so at least one node has full
+	// support.
+	acc := ins[0]
+	spineGates := 0
+	for i := 1; i < nIn && spineGates < nGates-1; i++ {
+		acc = c.MustGate("", circuit.Xor, acc, ins[i])
+		ids = append(ids, acc)
+		spineGates++
+	}
+	types := []circuit.GateType{
+		circuit.And, circuit.Nand, circuit.Or, circuit.Nor,
+		circuit.Xor, circuit.Xnor, circuit.Not,
+	}
+	for i := spineGates; i < nGates-1; i++ {
+		gt := types[rng.Intn(len(types))]
+		n := 1
+		if gt != circuit.Not {
+			n = 2
+		}
+		fanins := make([]int, n)
+		for j := range fanins {
+			// Bias toward recent nodes for depth.
+			if rng.Intn(2) == 0 && len(ids) > 8 {
+				fanins[j] = ids[len(ids)-1-rng.Intn(8)]
+			} else {
+				fanins[j] = ids[rng.Intn(len(ids))]
+			}
+		}
+		ids = append(ids, c.MustGate("", gt, fanins...))
+	}
+	// Final gate mixes the spine tail (full support) with the soup.
+	last := c.MustGate("", circuit.Xor, acc, ids[len(ids)-1])
+	c.MarkOutput(last)
+	return c
+}
+
+// EquivalentByName compares two circuits on trials random patterns,
+// matching inputs by name. Inputs present in only one circuit get
+// independent random values (callers should ensure interfaces match when
+// that matters). It returns false at the first output disagreement.
+func EquivalentByName(c1, c2 *circuit.Circuit, trials int, seed int64) bool {
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		a1 := map[int]bool{}
+		a2 := map[int]bool{}
+		for _, id := range c1.Inputs() {
+			v := rng.Intn(2) == 1
+			a1[id] = v
+			if id2, ok := c2.NodeByName(c1.Nodes[id].Name); ok {
+				a2[id2] = v
+			}
+		}
+		for _, id := range c2.Inputs() {
+			if _, done := a2[id]; !done {
+				a2[id] = rng.Intn(2) == 1
+			}
+		}
+		o1 := c1.EvalOutputs(a1)
+		o2 := c2.EvalOutputs(a2)
+		if len(o1) != len(o2) {
+			return false
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LockedAgreesWithOriginal checks that the locked circuit under the given
+// key computes the original function on trials random patterns.
+func LockedAgreesWithOriginal(orig, locked *circuit.Circuit, key map[string]bool, trials int, seed int64) bool {
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		aOrig := map[int]bool{}
+		aLock := map[int]bool{}
+		for _, id := range orig.PrimaryInputs() {
+			v := rng.Intn(2) == 1
+			aOrig[id] = v
+			if id2, ok := locked.NodeByName(orig.Nodes[id].Name); ok {
+				aLock[id2] = v
+			}
+		}
+		for name, v := range key {
+			if id, ok := locked.NodeByName(name); ok {
+				aLock[id] = v
+			}
+		}
+		o1 := orig.EvalOutputs(aOrig)
+		o2 := locked.EvalOutputs(aLock)
+		if len(o1) != len(o2) {
+			return false
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
