@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -50,7 +51,7 @@ func benchFig5Panel(b *testing.B, level exp.HLevel) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		outs := exp.Fig5Panel(cases, level, cfg)
+		outs := exp.Fig5Panel(context.Background(), cases, level, cfg)
 		solved := 0
 		for _, o := range outs {
 			if o.Solved && o.Attack != "SAT-Attack" {
@@ -91,7 +92,7 @@ func BenchmarkFig6(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := exp.Fig6(cases, cfg)
+		rows := exp.Fig6(context.Background(), cases, cfg)
 		for _, r := range rows {
 			if r.KCConfirmed != r.KCRuns {
 				b.Fatalf("%s: confirmation failed", r.Circuit)
@@ -110,7 +111,7 @@ func BenchmarkSummary(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := exp.Summarize(cases, cfg)
+		s := exp.Summarize(context.Background(), cases, cfg)
 		if s.Defeated == 0 {
 			b.Fatal("nothing defeated")
 		}
@@ -134,7 +135,7 @@ func benchEncoding(b *testing.B, enc cnf.CardEncoding) {
 	lr := ablationCase(b, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := fall.Attack(lr.Locked, fall.Options{H: 4, Analysis: fall.SlidingWindow, Enc: enc})
+		res, err := fall.Attack(context.Background(), lr.Locked, fall.Options{H: 4, Analysis: fall.SlidingWindow, Enc: enc})
 		if err != nil || len(res.Keys) == 0 {
 			b.Fatalf("attack failed: %v (%d keys)", err, len(res.Keys))
 		}
@@ -153,7 +154,7 @@ func benchPrefilter(b *testing.B, disable bool) {
 	lr := ablationCase(b, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := fall.Attack(lr.Locked, fall.Options{H: 0, DisableSimPrefilter: disable})
+		res, err := fall.Attack(context.Background(), lr.Locked, fall.Options{H: 0, DisableSimPrefilter: disable})
 		if err != nil || len(res.Keys) == 0 {
 			b.Fatalf("attack failed: %v", err)
 		}
@@ -182,10 +183,11 @@ func benchKeyConfirm(b *testing.B, disableDDIP bool, keyBits int) {
 	cands := []map[string]bool{comp, lr.Key}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := keyconfirm.Confirm(lr.Locked, cands, oracle.NewSim(orig), keyconfirm.Options{
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := keyconfirm.Confirm(ctx, lr.Locked, cands, oracle.NewSim(orig), keyconfirm.Options{
 			DisableDoubleDIP: disableDDIP,
-			Deadline:         time.Now().Add(30 * time.Second),
 		})
+		cancel()
 		if err != nil || !res.Confirmed {
 			b.Fatalf("confirmation failed: %v %+v", err, res)
 		}
@@ -267,7 +269,7 @@ func BenchmarkSATAttackIterations(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := satattack.Run(lr.Locked, oracle.NewSim(orig), time.Time{}, 20)
+		res, err := satattack.Run(context.Background(), lr.Locked, oracle.NewSim(orig), satattack.Options{MaxIterations: 20})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,12 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/bench"
 	"repro/internal/cnf"
 	"repro/internal/fall"
@@ -45,7 +47,7 @@ func main() {
 		fatalf("no key inputs (named keyinput*) in %s", *inPath)
 	}
 
-	opts := fall.Options{H: *h}
+	var opts fall.Options
 	switch *analysis {
 	case "auto":
 		opts.Analysis = fall.Auto
@@ -66,24 +68,32 @@ func main() {
 	default:
 		fatalf("unknown encoding %q", *enc)
 	}
+	ctx := context.Background()
 	if *timeout > 0 {
-		opts.Deadline = time.Now().Add(*timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	res, err := fall.Attack(locked, opts)
+	out, err := fall.New(opts).Run(ctx, attack.Target{Locked: locked, H: *h})
 	if err != nil {
 		fatalf("attack: %v", err)
 	}
+	res := out.Details.(*fall.Result)
+	fmt.Printf("status: %s\n", out.Status)
 	fmt.Printf("comparators: %d (pairing %d circuit inputs)\n", len(res.Comparators), len(res.CompX))
 	fmt.Printf("candidate cube-stripper gates: %d\n", len(res.Candidates))
 	fmt.Printf("stage times: comparators %v, matching %v, analyses %v (total %v)\n",
 		res.ComparatorTime.Round(time.Millisecond), res.MatchTime.Round(time.Millisecond),
 		res.AnalysisTime.Round(time.Millisecond), res.Total.Round(time.Millisecond))
+	if out.Status == attack.StatusTimeout {
+		fmt.Println("timed out before completing all analyses — shortlist may be incomplete")
+	}
 	if len(res.Keys) == 0 {
 		fmt.Println("no keys shortlisted: attack failed on this netlist")
 		os.Exit(2)
 	}
-	fmt.Printf("shortlisted %d key(s)%s:\n", len(res.Keys), uniqNote(res))
+	fmt.Printf("shortlisted %d key(s)%s:\n", len(res.Keys), uniqNote(out))
 	for i, ck := range res.Keys {
 		fmt.Printf("key %d (via %s, node %d):\n", i+1, ck.Analysis, ck.Node)
 		names := make([]string, 0, len(ck.Key))
@@ -99,9 +109,12 @@ func main() {
 			fmt.Printf("  %s=%d\n", n, v)
 		}
 	}
+	if out.Status == attack.StatusTimeout {
+		os.Exit(2)
+	}
 }
 
-func uniqNote(res *fall.Result) string {
+func uniqNote(res *attack.Result) string {
 	if res.UniqueKey() {
 		return " — unique, no oracle access needed"
 	}

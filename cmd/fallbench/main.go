@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +62,7 @@ func main() {
 		fatalf("unknown encoding %q", *enc)
 	}
 
+	ctx := context.Background()
 	ran := false
 	if *table1 {
 		ran = true
@@ -96,7 +98,7 @@ func main() {
 			fatalf("suite: %v", err)
 		}
 		fmt.Printf("=== Fig. 5 panel %s (%s) ===\n", *fig5, level.Label())
-		outs := exp.Fig5Panel(cases, level, cfg)
+		outs := exp.Fig5Panel(ctx, cases, level, cfg)
 		fmt.Print(exp.FormatCactus(outs, attacks))
 	}
 	if *fig6 {
@@ -106,7 +108,7 @@ func main() {
 			fatalf("suite: %v", err)
 		}
 		fmt.Println("=== Fig. 6: key confirmation vs SAT attack ===")
-		fmt.Print(exp.FormatFig6(exp.Fig6(cases, cfg)))
+		fmt.Print(exp.FormatFig6(exp.Fig6(ctx, cases, cfg)))
 	}
 	if *summary {
 		ran = true
@@ -115,7 +117,7 @@ func main() {
 			fatalf("suite: %v", err)
 		}
 		fmt.Println("=== §VI-B summary ===")
-		fmt.Print(exp.FormatSummary(exp.Summarize(cases, cfg)))
+		fmt.Print(exp.FormatSummary(exp.Summarize(ctx, cases, cfg)))
 	}
 	if !ran {
 		flag.Usage()

@@ -9,14 +9,14 @@
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/keyconfirm"
@@ -37,9 +37,9 @@ func main() {
 	locked := parse(*lockedPath)
 	orig := parse(*oraclePath)
 
-	var cands []map[string]bool
+	var cands []attack.Key
 	for _, path := range flag.Args() {
-		k, err := readKeyFile(path)
+		k, err := attack.ReadKeyFile(path)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -49,69 +49,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "keyconfirm: no candidate key files; running with phi=true (full SAT attack mode)")
 	}
 
-	opts := keyconfirm.Options{DisableDoubleDIP: *pureAlg4}
+	ctx := context.Background()
 	if *timeout > 0 {
-		opts.Deadline = time.Now().Add(*timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	res, err := keyconfirm.Confirm(locked, cands, oracle.NewSim(orig), opts)
+	atk := keyconfirm.New(keyconfirm.Options{DisableDoubleDIP: *pureAlg4})
+	res, err := atk.Run(ctx, attack.Target{
+		Locked:     locked,
+		Oracle:     oracle.NewSim(orig),
+		Candidates: cands,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("iterations: %d, oracle queries: %d, elapsed: %v\n",
-		res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
-	if res.TimedOut {
+	fmt.Printf("status: %s, iterations: %d, oracle queries: %d, elapsed: %v\n",
+		res.Status, res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
+	if res.Status == attack.StatusTimeout {
 		fmt.Println("timed out before a verdict")
 		os.Exit(2)
 	}
-	if !res.Confirmed {
+	if !res.UniqueKey() {
 		fmt.Println("⊥ — no candidate key is consistent with the oracle")
 		os.Exit(3)
 	}
+	key := res.Keys[0]
 	fmt.Println("confirmed key:")
-	names := make([]string, 0, len(res.Key))
-	for n := range res.Key {
+	names := make([]string, 0, len(key))
+	for n := range key {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
 		v := 0
-		if res.Key[n] {
+		if key[n] {
 			v = 1
 		}
 		fmt.Printf("  %s=%d\n", n, v)
 	}
-}
-
-func readKeyFile(path string) (map[string]bool, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	key := make(map[string]bool)
-	sc := bufio.NewScanner(f)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		parts := strings.SplitN(text, "=", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("%s:%d: expected name=0/1, got %q", path, line, text)
-		}
-		name := strings.TrimSpace(parts[0])
-		switch strings.TrimSpace(parts[1]) {
-		case "0":
-			key[name] = false
-		case "1":
-			key[name] = true
-		default:
-			return nil, fmt.Errorf("%s:%d: bad key bit %q", path, line, parts[1])
-		}
-	}
-	return key, sc.Err()
 }
 
 func parse(path string) *circuit.Circuit {

@@ -1,6 +1,7 @@
 // Command satattack runs the oracle-guided SAT attack baseline on a
 // locked BENCH netlist, with the original (unlocked) netlist standing in
-// for the activated-chip oracle.
+// for the activated-chip oracle. It drives the attack through the unified
+// attack registry (attack.Get("sat")).
 //
 // Usage:
 //
@@ -9,16 +10,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"time"
 
+	"repro/internal/attack"
+	_ "repro/internal/attack/all"
 	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/oracle"
-	"repro/internal/satattack"
 )
 
 func main() {
@@ -35,35 +38,41 @@ func main() {
 	locked := parse(*lockedPath)
 	orig := parse(*oraclePath)
 
-	var deadline time.Time
+	ctx := context.Background()
 	if *timeout > 0 {
-		deadline = time.Now().Add(*timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	orc := oracle.NewSim(orig)
-	res, err := satattack.Run(locked, orc, deadline, *maxIter)
+	res, err := attack.Run(ctx, "sat", attack.Target{
+		Locked:        locked,
+		Oracle:        oracle.NewSim(orig),
+		MaxIterations: *maxIter,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("iterations: %d, oracle queries: %d, elapsed: %v\n",
-		res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
-	if !res.Solved {
+	fmt.Printf("status: %s, iterations: %d, oracle queries: %d, elapsed: %v\n",
+		res.Status, res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
+	if !res.UniqueKey() {
 		fmt.Println("attack did not converge (timed out)")
 		os.Exit(2)
 	}
+	key := res.Keys[0]
 	fmt.Println("recovered key:")
-	names := make([]string, 0, len(res.Key))
-	for n := range res.Key {
+	names := make([]string, 0, len(key))
+	for n := range key {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
 		v := 0
-		if res.Key[n] {
+		if key[n] {
 			v = 1
 		}
 		fmt.Printf("  %s=%d\n", n, v)
 	}
-	if err := oracle.CheckKey(locked, oracle.NewSim(orig), res.Key, 1024, 7); err != nil {
+	if err := oracle.CheckKey(locked, oracle.NewSim(orig), key, 1024, 7); err != nil {
 		fmt.Printf("warning: key failed random validation: %v\n", err)
 		os.Exit(3)
 	}

@@ -11,16 +11,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
+	"repro/internal/attack"
+	_ "repro/internal/attack/all"
 	"repro/internal/genbench"
-	"repro/internal/keyconfirm"
 	"repro/internal/lock"
 	"repro/internal/oracle"
-	"repro/internal/satattack"
 )
 
 func main() {
@@ -47,42 +48,50 @@ func main() {
 	for k := range correct {
 		random[k] = rng.Intn(2) == 1
 	}
-	candidates := []map[string]bool{complement, random, correct}
+	candidates := []attack.Key{complement, random, correct}
 
-	orc := oracle.NewSim(orig)
-	start := time.Now()
-	res, err := keyconfirm.Confirm(lr.Locked, candidates, orc, keyconfirm.Options{
-		Deadline: time.Now().Add(60 * time.Second),
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	res, err := attack.Run(ctx, "keyconfirm", attack.Target{
+		Locked:     lr.Locked,
+		Oracle:     oracle.NewSim(orig),
+		Candidates: candidates,
 	})
+	cancel()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Confirmed {
-		log.Fatalf("confirmation returned ⊥ unexpectedly: %+v", res)
-	}
-	match := true
-	for k, v := range correct {
-		if res.Key[k] != v {
-			match = false
-		}
+	if !res.UniqueKey() {
+		log.Fatalf("confirmation returned %s unexpectedly: %+v", res.Status, res)
 	}
 	fmt.Printf("key confirmation: confirmed correct key=%v in %d iterations, %d oracle queries, %v\n",
-		match, res.Iterations, res.OracleQueries, time.Since(start).Round(time.Millisecond))
+		attack.KeysEqual(res.Keys[0], correct), res.Iterations, res.OracleQueries,
+		res.Elapsed.Round(time.Millisecond))
 
 	// Lemma 4's ⊥ guarantee: with only wrong guesses, confirmation says so.
-	res2, err := keyconfirm.Confirm(lr.Locked, []map[string]bool{complement, random}, oracle.NewSim(orig),
-		keyconfirm.Options{Deadline: time.Now().Add(60 * time.Second)})
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	res2, err := attack.Run(ctx2, "keyconfirm", attack.Target{
+		Locked:     lr.Locked,
+		Oracle:     oracle.NewSim(orig),
+		Candidates: []attack.Key{complement, random},
+	})
+	cancel2()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrong guesses only: confirmed=%v (⊥ expected) after %d oracle queries\n",
-		res2.Confirmed, res2.OracleQueries)
+	fmt.Printf("wrong guesses only: status=%s (refuted expected) after %d oracle queries\n",
+		res2.Status, res2.OracleQueries)
 
 	// Contrast with the vanilla SAT attack under a tight budget.
-	sa, err := satattack.Run(lr.Locked, oracle.NewSim(orig), time.Now().Add(5*time.Second), 300)
+	ctx3, cancel3 := context.WithTimeout(context.Background(), 5*time.Second)
+	sa, err := attack.Run(ctx3, "sat", attack.Target{
+		Locked:        lr.Locked,
+		Oracle:        oracle.NewSim(orig),
+		MaxIterations: 300,
+	})
+	cancel3()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("vanilla SAT attack: solved=%v after %d iterations in %v (needs ~2^%d iterations on TTLock)\n",
-		sa.Solved, sa.Iterations, sa.Elapsed.Round(time.Millisecond), keyBits)
+	fmt.Printf("vanilla SAT attack: status=%s after %d iterations in %v (needs ~2^%d iterations on TTLock)\n",
+		sa.Status, sa.Iterations, sa.Elapsed.Round(time.Millisecond), keyBits)
 }

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
+	"repro/internal/attack"
+	_ "repro/internal/attack/all"
 	"repro/internal/circuit"
 	"repro/internal/fall"
 	"repro/internal/lock"
@@ -43,23 +46,25 @@ func main() {
 		lr.Locked.NumGates(), len(lr.Locked.KeyInputs()), lr.Algorithm)
 	fmt.Printf("secret protected cube: %v\n", formatKey(lr.Cube))
 
-	// FALL attack: comparator identification -> support-set matching ->
-	// AnalyzeUnateness -> equivalence check. No oracle needed.
-	res, err := fall.Attack(lr.Locked, fall.Options{H: 0})
+	// FALL attack through the unified attack API: comparator
+	// identification -> support-set matching -> AnalyzeUnateness ->
+	// equivalence check. No oracle needed.
+	res, err := attack.Run(context.Background(), "fall", attack.Target{Locked: lr.Locked, H: 0})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nFALL attack:\n")
-	fmt.Printf("  comparators found: %d\n", len(res.Comparators))
-	fmt.Printf("  candidate stripper gates: %d\n", len(res.Candidates))
+	details := res.Details.(*fall.Result)
+	fmt.Printf("\nFALL attack (status %s):\n", res.Status)
+	fmt.Printf("  comparators found: %d\n", len(details.Comparators))
+	fmt.Printf("  candidate stripper gates: %d\n", len(details.Candidates))
 	fmt.Printf("  keys shortlisted: %d (unique: %v)\n", len(res.Keys), res.UniqueKey())
-	for _, ck := range res.Keys {
+	for _, ck := range details.Keys {
 		fmt.Printf("  recovered key via %s: %v\n", ck.Analysis, formatKey(ck.Key))
 	}
 
 	// Check against the planted secret.
-	for _, ck := range res.Keys {
-		if equalKeys(ck.Key, lr.Key) {
+	for _, key := range res.Keys {
+		if attack.KeysEqual(key, lr.Key) {
 			fmt.Println("\nSUCCESS: recovered key matches the planted key — circuit unlocked without oracle access")
 			return
 		}
@@ -85,16 +90,4 @@ func formatKey(k map[string]bool) string {
 		s += fmt.Sprintf("%s=%d", n, v)
 	}
 	return s
-}
-
-func equalKeys(a, b map[string]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if b[k] != v {
-			return false
-		}
-	}
-	return true
 }

@@ -11,15 +11,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/fall"
+	"repro/internal/attack"
+	_ "repro/internal/attack/all"
 	"repro/internal/genbench"
 	"repro/internal/lock"
 	"repro/internal/oracle"
-	"repro/internal/satattack"
 )
 
 func main() {
@@ -60,13 +61,19 @@ func main() {
 		if s.name == "TTLock" {
 			ttlock = lr
 		}
-		res, err := satattack.Run(lr.Locked, oracle.NewSim(orig), time.Now().Add(60*time.Second), iterBudget)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		res, err := attack.Run(ctx, "sat", attack.Target{
+			Locked:        lr.Locked,
+			Oracle:        oracle.NewSim(orig),
+			MaxIterations: iterBudget,
+		})
+		cancel()
 		if err != nil {
 			log.Fatalf("%s: %v", s.name, err)
 		}
 		verdict := "RESISTED (budget exhausted)"
-		if res.Solved {
-			if err := oracle.CheckKey(lr.Locked, oracle.NewSim(orig), res.Key, 512, 1); err == nil {
+		if res.UniqueKey() {
+			if err := oracle.CheckKey(lr.Locked, oracle.NewSim(orig), res.Keys[0], 512, 1); err == nil {
 				verdict = "BROKEN"
 			} else {
 				verdict = "converged to wrong key (bug!)"
@@ -77,31 +84,19 @@ func main() {
 	}
 
 	fmt.Printf("\nFALL attack on the TTLock instance (no oracle):\n")
-	fres, err := fall.Attack(ttlock.Locked, fall.Options{H: 0})
+	fres, err := attack.Run(context.Background(), "fall", attack.Target{Locked: ttlock.Locked, H: 0})
 	if err != nil {
 		log.Fatal(err)
 	}
 	correct := false
-	for _, ck := range fres.Keys {
-		if sameKey(ck.Key, ttlock.Key) {
+	for _, key := range fres.Keys {
+		if attack.KeysEqual(key, ttlock.Key) {
 			correct = true
 		}
 	}
 	fmt.Printf("  %d key(s) shortlisted, correct key recovered: %v, in %v\n",
-		len(fres.Keys), correct, fres.Total.Round(time.Millisecond))
+		len(fres.Keys), correct, fres.Elapsed.Round(time.Millisecond))
 	if !correct {
 		log.Fatal("FALL failed on TTLock — unexpected")
 	}
-}
-
-func sameKey(a, b map[string]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if b[k] != v {
-			return false
-		}
-	}
-	return true
 }

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/fall"
 	"repro/internal/genbench"
 	"repro/internal/lock"
@@ -43,36 +45,28 @@ func main() {
 		fmt.Printf("SFLL-HD%d: locked netlist has %d gates (original %d)\n",
 			h, lr.Locked.NumGates(), orig.NumGates())
 		for _, analysis := range []fall.Analysis{fall.SlidingWindow, fall.Distance2H} {
-			start := time.Now()
-			res, err := fall.Attack(lr.Locked, fall.Options{
-				H:        h,
-				Analysis: analysis,
-				Deadline: time.Now().Add(30 * time.Second),
-			})
-			elapsed := time.Since(start).Round(time.Millisecond)
-			if err == fall.ErrTimeout {
+			atk := fall.New(fall.Options{Analysis: analysis})
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			res, err := atk.Run(ctx, attack.Target{Locked: lr.Locked, H: h})
+			cancel()
+			if err != nil {
+				log.Fatalf("%v: %v", analysis, err)
+			}
+			elapsed := res.Elapsed.Round(time.Millisecond)
+			if res.Status == attack.StatusTimeout {
 				fmt.Printf("  %-14s TIMEOUT after %v (expected for SlidingWindow at larger h — matches §VI-B)\n",
 					analysis, elapsed)
 				continue
 			}
-			if err != nil {
-				log.Fatalf("%v: %v", analysis, err)
-			}
 			correct := false
-			for _, ck := range res.Keys {
-				match := len(ck.Key) == len(lr.Key)
-				for k, v := range lr.Key {
-					if ck.Key[k] != v {
-						match = false
-						break
-					}
-				}
-				if match {
+			for _, key := range res.Keys {
+				if attack.KeysEqual(key, lr.Key) {
 					correct = true
 				}
 			}
+			details := res.Details.(*fall.Result)
 			fmt.Printf("  %-14s %d comparators, %d candidates, %d key(s), correct=%v, unique=%v, %v\n",
-				analysis, len(res.Comparators), len(res.Candidates), len(res.Keys),
+				analysis, len(details.Comparators), len(details.Candidates), len(res.Keys),
 				correct, res.UniqueKey(), elapsed)
 		}
 		fmt.Println()

@@ -4,6 +4,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -20,6 +21,14 @@ import (
 	"repro/internal/satattack"
 	"repro/internal/testcirc"
 )
+
+// testCtx returns a context bounding one attack stage of a test.
+func testCtx(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
 
 // TestEndToEndViaBenchFiles mirrors the lockgen | fallattack pipeline:
 // lock, serialize to BENCH, re-parse (losing all in-memory metadata), and
@@ -44,7 +53,7 @@ func TestEndToEndViaBenchFiles(t *testing.T) {
 		if got, want := len(reparsed.KeyInputs()), spec.Keys; got != want {
 			t.Fatalf("h=%d: reparsed key inputs = %d, want %d", h, got, want)
 		}
-		res, err := fall.Attack(reparsed, fall.Options{H: h, Deadline: time.Now().Add(60 * time.Second)})
+		res, err := fall.Attack(testCtx(t, 60*time.Second), reparsed, fall.Options{H: h})
 		if err != nil {
 			t.Fatalf("h=%d: %v", h, err)
 		}
@@ -77,7 +86,7 @@ func TestFullPipelineWithConfirmation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := fall.Attack(lr.Locked, fall.Options{H: 3, Deadline: time.Now().Add(60 * time.Second)})
+	res, err := fall.Attack(testCtx(t, 60*time.Second), lr.Locked, fall.Options{H: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,9 +98,7 @@ func TestFullPipelineWithConfirmation(t *testing.T) {
 		cands = append(cands, ck.Key)
 	}
 	orc := oracle.NewSim(orig)
-	conf, err := keyconfirm.Confirm(lr.Locked, cands, orc, keyconfirm.Options{
-		Deadline: time.Now().Add(60 * time.Second),
-	})
+	conf, err := keyconfirm.Confirm(testCtx(t, 60*time.Second), lr.Locked, cands, orc, keyconfirm.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +118,7 @@ func TestSATvsBDDEngineAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := fall.Attack(lr.Locked, fall.Options{H: 0})
+	res, err := fall.Attack(context.Background(), lr.Locked, fall.Options{H: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +174,7 @@ func TestAttackMatrix(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", r.name, err)
 		}
-		res, err := fall.Attack(lr.Locked, fall.Options{H: r.h, Deadline: time.Now().Add(60 * time.Second)})
+		res, err := fall.Attack(testCtx(t, 60*time.Second), lr.Locked, fall.Options{H: r.h})
 		if err != nil {
 			t.Fatalf("%s: %v", r.name, err)
 		}
@@ -189,7 +196,7 @@ func TestAttackMatrix(t *testing.T) {
 		}
 		// Whatever FALL does, the SAT attack must still break RLL.
 		if r.name == "rll" {
-			sa, err := satattack.Run(lr.Locked, oracle.NewSim(orig), time.Now().Add(30*time.Second), 0)
+			sa, err := satattack.Run(testCtx(t, 30*time.Second), lr.Locked, oracle.NewSim(orig), satattack.Options{})
 			if err != nil || !sa.Solved {
 				t.Errorf("rll: SAT attack failed: %v %+v", err, sa)
 			}

@@ -1,0 +1,14 @@
+// Package all registers every built-in attack with the attack registry.
+// Import it for side effects wherever the full attack suite should be
+// available by name:
+//
+//	import _ "repro/internal/attack/all"
+package all
+
+import (
+	_ "repro/internal/doubledip"
+	_ "repro/internal/fall"
+	_ "repro/internal/keyconfirm"
+	_ "repro/internal/satattack"
+	_ "repro/internal/sps"
+)

@@ -1,0 +1,99 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/oracle"
+	"repro/internal/sat"
+)
+
+// This file holds the SAT plumbing shared by every oracle-guided attack
+// (SAT attack, Double DIP, key confirmation) and by the FALL analyses:
+// context-bound solver construction, I/O constraint replay, and the
+// locked-circuit/oracle output alignment.
+
+// NewSolver returns a fresh SAT solver bound to ctx: the solver returns
+// Unknown once ctx is cancelled or its deadline passes.
+func NewSolver(ctx context.Context) *sat.Solver {
+	s := sat.New()
+	if ctx != nil {
+		s.SetContext(ctx)
+	}
+	return s
+}
+
+// KeyGiven maps key-input node ids to their encoded literals, in the form
+// EncodeCircuitWith expects for tying a circuit copy to existing key
+// variables.
+func KeyGiven(keys []int, lits []sat.Lit) map[int]sat.Lit {
+	m := make(map[int]sat.Lit, len(keys))
+	for i, k := range keys {
+		m[k] = lits[i]
+	}
+	return m
+}
+
+// AddIOConstraint encodes a fresh copy of the locked circuit with primary
+// inputs fixed to xd, key inputs tied to the given key literals, and
+// outputs fixed to the oracle response yd (aligned through outIdx).
+func AddIOConstraint(e *cnf.Encoder, locked *circuit.Circuit, xd map[string]bool, yd []bool, outIdx []int, keyLits map[int]sat.Lit) {
+	given := make(map[int]sat.Lit, len(xd)+len(keyLits))
+	for k, v := range keyLits {
+		given[k] = v
+	}
+	for _, pi := range locked.PrimaryInputs() {
+		given[pi] = e.ConstLit(xd[locked.Nodes[pi].Name])
+	}
+	lits := e.EncodeCircuitWith(locked, given)
+	for i, o := range locked.Outputs {
+		e.Fix(lits[o], yd[outIdx[i]])
+	}
+}
+
+// OutputIndex maps locked-circuit output positions to oracle output
+// positions by name.
+func OutputIndex(locked *circuit.Circuit, orc oracle.Oracle) ([]int, error) {
+	names := orc.OutputNames()
+	byName := make(map[string]int, len(names))
+	for i, n := range names {
+		byName[n] = i
+	}
+	idx := make([]int, len(locked.Outputs))
+	for i, o := range locked.Outputs {
+		n := locked.Nodes[o].Name
+		j, ok := byName[n]
+		if !ok {
+			// Outputs may have been renamed by optimization shims
+			// (e.g. "_out" suffix); fall back to positional mapping.
+			if i < len(names) {
+				j = i
+			} else {
+				return nil, fmt.Errorf("attack: output %q not known to oracle", n)
+			}
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+// LitWithValue returns l when v is true and its complement otherwise.
+func LitWithValue(l sat.Lit, v bool) sat.Lit {
+	if v {
+		return l
+	}
+	return l.Neg()
+}
+
+// ModelInput extracts the primary-input assignment of the solver's last
+// model as a named pattern, ready for an oracle query.
+func ModelInput(locked *circuit.Circuit, s *sat.Solver, piLits []sat.Lit) map[string]bool {
+	pis := locked.PrimaryInputs()
+	xd := make(map[string]bool, len(pis))
+	for i, pi := range pis {
+		xd[locked.Nodes[pi].Name] = s.LitTrue(piLits[i])
+	}
+	return xd
+}

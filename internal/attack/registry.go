@@ -1,0 +1,64 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The global registry. Attack packages register a default-configured
+// instance from init(); importing repro/internal/attack/all (blank) pulls
+// every built-in attack in.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Attack{}
+)
+
+// Register adds an attack under its Name. It panics on an empty name or a
+// duplicate registration — both are programming errors in an init().
+func Register(a Attack) {
+	name := a.Name()
+	if name == "" {
+		panic("attack: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("attack: duplicate registration of %q", name))
+	}
+	registry[name] = a
+}
+
+// Get returns the registered attack with the given name.
+func Get(name string) (Attack, error) {
+	regMu.RLock()
+	a, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("attack: unknown attack %q (registered: %v)", name, Names())
+	}
+	return a, nil
+}
+
+// Names lists all registered attack names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run looks up name and runs it against the target — the one-liner for
+// callers that need no attack-specific configuration.
+func Run(ctx context.Context, name string, tgt Target) (*Result, error) {
+	a, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run(ctx, tgt)
+}

@@ -1,0 +1,68 @@
+package doubledip
+
+import (
+	"context"
+
+	"repro/internal/attack"
+)
+
+// ddAttack adapts Double DIP to the unified attack API.
+type ddAttack struct {
+	opts Options
+}
+
+// New returns Double DIP as an attack.Attack. Target.MaxIterations caps
+// total distinguishing-input queries across both phases (overriding
+// opts.MaxIterations when non-zero) and Target.Seed drives the error-exit
+// sampling. The registry instance runs the exact phase to convergence
+// (MaxExactIterations -1), matching the Target contract that
+// MaxIterations 0 means unlimited; construct an instance with
+// MaxExactIterations 0 to stop after the approximate 2-DIP phase.
+func New(opts Options) attack.Attack { return &ddAttack{opts: opts} }
+
+func (d *ddAttack) Name() string      { return "doubledip" }
+func (d *ddAttack) NeedsOracle() bool { return true }
+
+func (d *ddAttack) Run(ctx context.Context, tgt attack.Target) (*attack.Result, error) {
+	if err := attack.CheckTarget(d, tgt); err != nil {
+		return nil, err
+	}
+	opts := d.opts
+	if tgt.MaxIterations != 0 {
+		opts.MaxIterations = tgt.MaxIterations
+	}
+	if tgt.Seed != 0 {
+		opts.Seed = tgt.Seed
+	}
+	res, err := Run(ctx, tgt.Locked, tgt.Oracle, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &attack.Result{
+		Attack:        d.Name(),
+		Iterations:    res.TwoDIPIterations + res.ExactIterations,
+		OracleQueries: res.OracleQueries,
+		Elapsed:       res.Elapsed,
+		Details:       res,
+	}
+	if res.Key != nil {
+		out.Keys = []attack.Key{res.Key}
+	}
+	switch {
+	case res.ExactConverged:
+		out.Status = attack.StatusUniqueKey
+	case res.TimedOut:
+		// Budget-truncated: any extracted key is partial, with no error
+		// bound — report timeout, carrying the key as a partial result.
+		out.Status = attack.StatusTimeout
+	case res.Key != nil:
+		// 2-DIP phase key: approximate, with residual error bounded by
+		// the point-function layer.
+		out.Status = attack.StatusShortlist
+	default:
+		out.Status = attack.StatusInconclusive
+	}
+	return out, nil
+}
+
+func init() { attack.Register(New(Options{MaxExactIterations: -1})) }

@@ -15,20 +15,26 @@
 package doubledip
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/oracle"
 	"repro/internal/sat"
 )
 
-// Options tunes a Double DIP run.
+// Options tunes a Double DIP run. Wall-clock budgets are expressed by
+// cancelling (or setting a deadline on) the run context.
 type Options struct {
-	// Deadline bounds wall-clock time (zero = none).
-	Deadline time.Time
+	// MaxIterations bounds the total distinguishing-input queries across
+	// both phases (<= 0: unlimited). When the budget runs out the attack
+	// stops with TimedOut and extracts the best key consistent with the
+	// observations so far.
+	MaxIterations int
 	// MaxExactIterations bounds the exact single-DIP convergence phase
 	// after the 2-DIP phase (0 skips it; point functions make it
 	// exponential).
@@ -68,9 +74,12 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Run executes Double DIP with the given options.
-func Run(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
-	deadline := opts.Deadline
+// Run executes Double DIP with the given options. Cancelling ctx stops
+// the attack promptly with a TimedOut result.
+func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	maxExactIterations := opts.MaxExactIterations
 	start := time.Now()
 	res := &Result{}
@@ -79,7 +88,7 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("doubledip: circuit has no key inputs")
 	}
-	outIdx, err := outputIndex(locked, orc)
+	outIdx, err := attack.OutputIndex(locked, orc)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +99,7 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 	// layer like SARLock can make at most one key misbehave per input,
 	// so it can never serve two disjoint pairs: the query never "wastes"
 	// an iteration on the SARLock layer (Shen & Zhou's key insight).
-	d := sat.New()
+	d := attack.NewSolver(ctx)
 	de := cnf.NewEncoder(d)
 	d1 := de.EncodeCircuitWith(locked, nil)
 	shared := make(map[int]sat.Lit, len(pis))
@@ -110,12 +119,12 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 		de.NotEqual(pair[0], pair[1])
 	}
 	dGivens := []map[int]sat.Lit{
-		keyGiven(keys, k1), keyGiven(keys, k2),
-		keyGiven(keys, k3), keyGiven(keys, k4),
+		attack.KeyGiven(keys, k1), attack.KeyGiven(keys, k2),
+		attack.KeyGiven(keys, k3), attack.KeyGiven(keys, k4),
 	}
 
 	// Key-extraction solver P.
-	p := sat.New()
+	p := attack.NewSolver(ctx)
 	pe := cnf.NewEncoder(p)
 	kp := make([]sat.Lit, len(keys))
 	givenP := make(map[int]sat.Lit, len(keys))
@@ -123,22 +132,25 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 		kp[i] = pe.NewLit()
 		givenP[k] = kp[i]
 	}
-	if !deadline.IsZero() {
-		d.SetDeadline(deadline)
-		p.SetDeadline(deadline)
-	}
 
 	var queried []queryRecord
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5bd1e995))
 	addEverywhere := func(xd map[string]bool, yd []bool) {
 		queried = append(queried, queryRecord{xd, yd})
 		for _, g := range dGivens {
-			addIOConstraint(de, locked, xd, yd, outIdx, g)
+			attack.AddIOConstraint(de, locked, xd, yd, outIdx, g)
 		}
-		addIOConstraint(pe, locked, xd, yd, outIdx, givenP)
+		attack.AddIOConstraint(pe, locked, xd, yd, outIdx, givenP)
+	}
+	budgetLeft := func() bool {
+		return opts.MaxIterations <= 0 || res.TwoDIPIterations+res.ExactIterations < opts.MaxIterations
 	}
 	// Phase 1: 2-DIP loop with optional AppSAT-style error exit.
 	for {
+		if !budgetLeft() {
+			res.TimedOut = true
+			break
+		}
 		st := d.Solve()
 		if st == sat.Unknown {
 			res.TimedOut = true
@@ -200,9 +212,10 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 		}
 	}
 
-	// Phase 2: exact single-DIP convergence (optional).
-	if maxExactIterations != 0 {
-		q := sat.New()
+	// Phase 2: exact single-DIP convergence (optional; skipped when the
+	// shared iteration budget is already spent).
+	if maxExactIterations != 0 && budgetLeft() {
+		q := attack.NewSolver(ctx)
 		qe := cnf.NewEncoder(q)
 		q1 := qe.EncodeCircuitWith(locked, nil)
 		sharedQ := make(map[int]sat.Lit, len(pis))
@@ -212,20 +225,21 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 		q2 := qe.EncodeCircuitWith(locked, sharedQ)
 		qe.NotEqual(cnf.EncodedOutputs(locked, q1), cnf.EncodedOutputs(locked, q2))
 		qGivens := []map[int]sat.Lit{
-			keyGiven(keys, cnf.InputLits(keys, q1)),
-			keyGiven(keys, cnf.InputLits(keys, q2)),
-		}
-		if !deadline.IsZero() {
-			q.SetDeadline(deadline)
+			attack.KeyGiven(keys, cnf.InputLits(keys, q1)),
+			attack.KeyGiven(keys, cnf.InputLits(keys, q2)),
 		}
 		// Replay phase-1 observations.
 		for _, rec := range queried {
 			for _, g := range qGivens {
-				addIOConstraint(qe, locked, rec.xd, rec.yd, outIdx, g)
+				attack.AddIOConstraint(qe, locked, rec.xd, rec.yd, outIdx, g)
 			}
 		}
 		for {
 			if maxExactIterations > 0 && res.ExactIterations >= maxExactIterations {
+				res.TimedOut = true
+				break
+			}
+			if !budgetLeft() {
 				res.TimedOut = true
 				break
 			}
@@ -246,9 +260,9 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 			yd := orc.Query(xd)
 			res.OracleQueries++
 			for _, g := range qGivens {
-				addIOConstraint(qe, locked, xd, yd, outIdx, g)
+				attack.AddIOConstraint(qe, locked, xd, yd, outIdx, g)
 			}
-			addIOConstraint(pe, locked, xd, yd, outIdx, givenP)
+			attack.AddIOConstraint(pe, locked, xd, yd, outIdx, givenP)
 		}
 	}
 
@@ -272,48 +286,4 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 type queryRecord struct {
 	xd map[string]bool
 	yd []bool
-}
-
-func keyGiven(keys []int, lits []sat.Lit) map[int]sat.Lit {
-	m := make(map[int]sat.Lit, len(keys))
-	for i, k := range keys {
-		m[k] = lits[i]
-	}
-	return m
-}
-
-func addIOConstraint(e *cnf.Encoder, locked *circuit.Circuit, xd map[string]bool, yd []bool, outIdx []int, keyLits map[int]sat.Lit) {
-	given := make(map[int]sat.Lit, len(xd)+len(keyLits))
-	for k, v := range keyLits {
-		given[k] = v
-	}
-	for _, pi := range locked.PrimaryInputs() {
-		given[pi] = e.ConstLit(xd[locked.Nodes[pi].Name])
-	}
-	lits := e.EncodeCircuitWith(locked, given)
-	for i, o := range locked.Outputs {
-		e.Fix(lits[o], yd[outIdx[i]])
-	}
-}
-
-func outputIndex(locked *circuit.Circuit, orc oracle.Oracle) ([]int, error) {
-	names := orc.OutputNames()
-	byName := make(map[string]int, len(names))
-	for i, n := range names {
-		byName[n] = i
-	}
-	idx := make([]int, len(locked.Outputs))
-	for i, o := range locked.Outputs {
-		n := locked.Nodes[o].Name
-		j, ok := byName[n]
-		if !ok {
-			if i < len(names) {
-				j = i
-			} else {
-				return nil, fmt.Errorf("doubledip: output %q not known to oracle", n)
-			}
-		}
-		idx[i] = j
-	}
-	return idx, nil
 }

@@ -1,6 +1,7 @@
 package doubledip
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -53,7 +54,9 @@ func TestDoubleDIPOnRLLExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(lr.Locked, oracle.NewSim(orig), Options{Deadline: time.Now().Add(30 * time.Second), MaxExactIterations: 100})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, lr.Locked, oracle.NewSim(orig), Options{MaxExactIterations: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +82,9 @@ func TestDoubleDIPStripsCompoundLocking(t *testing.T) {
 	if got := len(lr.Locked.KeyInputs()); got != 20 {
 		t.Fatalf("compound key inputs = %d, want 20", got)
 	}
-	res, err := Run(lr.Locked, oracle.NewSim(orig), Options{Deadline: time.Now().Add(60 * time.Second), ErrorExitSamples: 128, Seed: 21})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, lr.Locked, oracle.NewSim(orig), Options{ErrorExitSamples: 128, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,8 +99,10 @@ func TestDoubleDIPStripsCompoundLocking(t *testing.T) {
 
 	// Contrast: the vanilla SAT attack with the same number of queries
 	// cannot converge (SARLock forces one query per wrong key).
-	sa, err := satattack.Run(lr.Locked, oracle.NewSim(orig), time.Now().Add(10*time.Second),
-		res.TwoDIPIterations+5)
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	sa, err := satattack.Run(sctx, lr.Locked, oracle.NewSim(orig),
+		satattack.Options{MaxIterations: res.TwoDIPIterations + 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,24 +113,26 @@ func TestDoubleDIPStripsCompoundLocking(t *testing.T) {
 
 func TestDoubleDIPNoKeys(t *testing.T) {
 	orig := testcirc.Fig2a()
-	if _, err := Run(orig, oracle.NewSim(orig), Options{}); err == nil {
+	if _, err := Run(context.Background(), orig, oracle.NewSim(orig), Options{}); err == nil {
 		t.Error("circuit without keys accepted")
 	}
 }
 
-func TestDoubleDIPDeadline(t *testing.T) {
+func TestDoubleDIPCancelledContext(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	orig := testcirc.Random(rng, 12, 100)
 	lr, err := lock.Compound(orig, 6, 10, 4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(lr.Locked, oracle.NewSim(orig), Options{Deadline: time.Now().Add(-time.Second)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled
+	res, err := Run(ctx, lr.Locked, oracle.NewSim(orig), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.TimedOut {
-		t.Error("expired deadline did not stop the attack")
+		t.Error("cancelled context did not stop the attack")
 	}
 }
 

@@ -11,20 +11,21 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/attack"
+	_ "repro/internal/attack/all" // register every attack
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/fall"
 	"repro/internal/genbench"
-	"repro/internal/keyconfirm"
 	"repro/internal/lock"
 	"repro/internal/oracle"
-	"repro/internal/satattack"
 )
 
 // HLevel identifies the four locking configurations evaluated in Fig. 5.
@@ -187,36 +188,32 @@ type Outcome struct {
 	Time     time.Duration
 }
 
-func keysEqual(a, b map[string]bool) bool {
-	if len(a) != len(b) {
-		return false
+// attackCtx derives the per-run context implementing cfg.Timeout.
+func attackCtx(ctx context.Context, cfg Config) (context.Context, context.CancelFunc) {
+	if cfg.Timeout > 0 {
+		return context.WithTimeout(ctx, cfg.Timeout)
 	}
-	for k, v := range a {
-		if b[k] != v {
-			return false
-		}
-	}
-	return true
+	return context.WithCancel(ctx)
 }
 
-// RunFALL executes one FALL functional analysis on a case and scores it
-// against the planted key.
-func RunFALL(cs *Case, analysis fall.Analysis, cfg Config) Outcome {
+// RunFALL executes one FALL functional analysis on a case through the
+// unified attack API and scores it against the planted key.
+func RunFALL(ctx context.Context, cs *Case, analysis fall.Analysis, cfg Config) Outcome {
 	out := Outcome{Circuit: cs.Spec.Name, Level: cs.Level, Attack: analysis.String()}
-	opts := fall.Options{H: cs.H, Analysis: analysis, Enc: cfg.Enc}
-	if cfg.Timeout > 0 {
-		opts.Deadline = time.Now().Add(cfg.Timeout)
-	}
-	start := time.Now()
-	res, err := fall.Attack(cs.Lock.Locked, opts)
-	out.Time = time.Since(start)
+	rctx, cancel := attackCtx(ctx, cfg)
+	defer cancel()
+	atk := fall.New(fall.Options{Analysis: analysis, Enc: cfg.Enc})
+	res, err := atk.Run(rctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H})
 	if err != nil {
-		out.TimedOut = err == fall.ErrTimeout
+		// Hard failure (timeouts come back as StatusTimeout, not errors):
+		// report the outcome unsolved with no fabricated timing.
 		return out
 	}
+	out.Time = res.Elapsed
+	out.TimedOut = res.Status == attack.StatusTimeout
 	out.NumKeys = len(res.Keys)
-	for _, ck := range res.Keys {
-		if keysEqual(ck.Key, cs.Lock.Key) {
+	for _, key := range res.Keys {
+		if attack.KeysEqual(key, cs.Lock.Key) {
 			out.Solved = true
 		}
 	}
@@ -224,24 +221,26 @@ func RunFALL(cs *Case, analysis fall.Analysis, cfg Config) Outcome {
 	return out
 }
 
-// RunSAT executes the baseline SAT attack on a case.
-func RunSAT(cs *Case, cfg Config) Outcome {
+// RunSAT executes the baseline SAT attack on a case through the unified
+// attack API.
+func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 	out := Outcome{Circuit: cs.Spec.Name, Level: cs.Level, Attack: "SAT-Attack"}
-	orc := oracle.NewSim(cs.Orig)
-	var deadline time.Time
-	if cfg.Timeout > 0 {
-		deadline = time.Now().Add(cfg.Timeout)
-	}
-	res, err := satattack.Run(cs.Lock.Locked, orc, deadline, cfg.SATIterCap)
+	rctx, cancel := attackCtx(ctx, cfg)
+	defer cancel()
+	res, err := attack.Run(rctx, "sat", attack.Target{
+		Locked:        cs.Lock.Locked,
+		Oracle:        oracle.NewSim(cs.Orig),
+		MaxIterations: cfg.SATIterCap,
+	})
 	if err != nil {
 		out.Time = cfg.Timeout
 		out.TimedOut = true
 		return out
 	}
 	out.Time = res.Elapsed
-	out.TimedOut = res.TimedOut
-	if res.Solved {
-		if err := oracle.CheckKey(cs.Lock.Locked, oracle.NewSim(cs.Orig), res.Key, 128, cfg.Seed); err == nil {
+	out.TimedOut = res.Status == attack.StatusTimeout
+	if res.UniqueKey() {
+		if err := oracle.CheckKey(cs.Lock.Locked, oracle.NewSim(cs.Orig), res.Keys[0], 128, cfg.Seed); err == nil {
 			out.Solved = true
 		}
 	}
@@ -258,21 +257,21 @@ func RunSAT(cs *Case, cfg Config) Outcome {
 // the given level: the SAT attack plus AnalyzeUnateness for HD0,
 // SlidingWindow and Distance2H for h=m/8 and m/4, SlidingWindow only for
 // h=m/3 (Distance2H requires 4h <= m).
-func Fig5Panel(cases []*Case, level HLevel, cfg Config) []Outcome {
+func Fig5Panel(ctx context.Context, cases []*Case, level HLevel, cfg Config) []Outcome {
 	var outs []Outcome
 	for _, cs := range cases {
 		if cs.Level != level {
 			continue
 		}
-		outs = append(outs, RunSAT(cs, cfg))
+		outs = append(outs, RunSAT(ctx, cs, cfg))
 		switch level {
 		case HD0:
-			outs = append(outs, RunFALL(cs, fall.Unateness, cfg))
+			outs = append(outs, RunFALL(ctx, cs, fall.Unateness, cfg))
 		case HM3:
-			outs = append(outs, RunFALL(cs, fall.SlidingWindow, cfg))
+			outs = append(outs, RunFALL(ctx, cs, fall.SlidingWindow, cfg))
 		default:
-			outs = append(outs, RunFALL(cs, fall.SlidingWindow, cfg))
-			outs = append(outs, RunFALL(cs, fall.Distance2H, cfg))
+			outs = append(outs, RunFALL(ctx, cs, fall.SlidingWindow, cfg))
+			outs = append(outs, RunFALL(ctx, cs, fall.Distance2H, cfg))
 		}
 	}
 	return outs
@@ -320,7 +319,7 @@ type Fig6Row struct {
 // to {planted key, complement} when the shortlist is empty, mirroring the
 // paper's use of stage-1 results) and the vanilla SAT attack on the same
 // instances; report per-circuit means.
-func Fig6(cases []*Case, cfg Config) []Fig6Row {
+func Fig6(ctx context.Context, cases []*Case, cfg Config) []Fig6Row {
 	byCircuit := map[string][]*Case{}
 	var order []string
 	for _, cs := range cases {
@@ -329,41 +328,41 @@ func Fig6(cases []*Case, cfg Config) []Fig6Row {
 		}
 		byCircuit[cs.Spec.Name] = append(byCircuit[cs.Spec.Name], cs)
 	}
+	fallAtk := fall.New(fall.Options{Enc: cfg.Enc})
 	var rows []Fig6Row
 	for _, name := range order {
 		row := Fig6Row{Circuit: name}
 		var kcTimes, saTimes []time.Duration
 		for _, cs := range byCircuit[name] {
 			// Candidate keys from the FALL stage.
-			opts := fall.Options{H: cs.H, Enc: cfg.Enc}
-			if cfg.Timeout > 0 {
-				opts.Deadline = time.Now().Add(cfg.Timeout)
+			var cands []attack.Key
+			fctx, fcancel := attackCtx(ctx, cfg)
+			if res, err := fallAtk.Run(fctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H}); err == nil {
+				cands = res.Keys
 			}
-			var cands []map[string]bool
-			if res, err := fall.Attack(cs.Lock.Locked, opts); err == nil {
-				for _, ck := range res.Keys {
-					cands = append(cands, ck.Key)
-				}
-			}
+			fcancel()
 			if len(cands) == 0 {
 				comp := map[string]bool{}
 				for k, v := range cs.Lock.Key {
 					comp[k] = !v
 				}
-				cands = []map[string]bool{cs.Lock.Key, comp}
+				cands = []attack.Key{cs.Lock.Key, comp}
 			}
-			kopts := keyconfirm.Options{MaxIterations: cfg.SATIterCap}
-			if cfg.Timeout > 0 {
-				kopts.Deadline = time.Now().Add(cfg.Timeout)
-			}
-			kc, err := keyconfirm.Confirm(cs.Lock.Locked, cands, oracle.NewSim(cs.Orig), kopts)
+			kctx, kcancel := attackCtx(ctx, cfg)
+			kc, err := attack.Run(kctx, "keyconfirm", attack.Target{
+				Locked:        cs.Lock.Locked,
+				Oracle:        oracle.NewSim(cs.Orig),
+				Candidates:    cands,
+				MaxIterations: cfg.SATIterCap,
+			})
+			kcancel()
 			if err == nil {
 				kcTimes = append(kcTimes, kc.Elapsed)
-				if kc.Confirmed {
+				if kc.Status == attack.StatusUniqueKey {
 					row.KCConfirmed++
 				}
 			}
-			sa := RunSAT(cs, cfg)
+			sa := RunSAT(ctx, cs, cfg)
 			saTimes = append(saTimes, sa.Time)
 		}
 		row.KCRuns = len(kcTimes)
@@ -425,10 +424,10 @@ type Summary struct {
 
 // Summarize runs the combined (Auto) FALL attack over every case and
 // aggregates the defeat statistics of §VI-B.
-func Summarize(cases []*Case, cfg Config) Summary {
+func Summarize(ctx context.Context, cases []*Case, cfg Config) Summary {
 	s := Summary{TotalCases: len(cases)}
 	for _, cs := range cases {
-		out := RunFALL(cs, fall.Auto, cfg)
+		out := RunFALL(ctx, cs, fall.Auto, cfg)
 		if !out.Solved {
 			continue
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -87,7 +88,7 @@ func TestFig5PanelHD0(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs := Fig5Panel(cases, HD0, cfg)
+	outs := Fig5Panel(context.Background(), cases, HD0, cfg)
 	// 2 circuits × 2 attacks.
 	if len(outs) != 4 {
 		t.Fatalf("%d outcomes, want 4", len(outs))
@@ -114,7 +115,7 @@ func TestFig5PanelHM8(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs := Fig5Panel(cases, HM8, cfg)
+	outs := Fig5Panel(context.Background(), cases, HM8, cfg)
 	if len(outs) != 6 { // SAT + SlidingWindow + Distance2H per circuit
 		t.Fatalf("%d outcomes, want 6", len(outs))
 	}
@@ -133,7 +134,7 @@ func TestFig5PanelHM3SlidingOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs := Fig5Panel(cases, HM3, cfg)
+	outs := Fig5Panel(context.Background(), cases, HM3, cfg)
 	for _, o := range outs {
 		if o.Attack == fall.Distance2H.String() {
 			t.Error("Distance2H run on h=m/3 panel (4h > m)")
@@ -153,7 +154,7 @@ func TestFig6(t *testing.T) {
 		}
 		cases = append(cases, cs)
 	}
-	rows := Fig6(cases, cfg)
+	rows := Fig6(context.Background(), cases, cfg)
 	if len(rows) != 2 {
 		t.Fatalf("%d rows, want 2", len(rows))
 	}
@@ -183,7 +184,7 @@ func TestSummarize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := Summarize(cases, cfg)
+	s := Summarize(context.Background(), cases, cfg)
 	if s.TotalCases != 8 {
 		t.Fatalf("total = %d, want 8", s.TotalCases)
 	}

@@ -1,0 +1,56 @@
+package fall
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/attack"
+)
+
+// fallAttack adapts the FALL pipeline to the unified attack API.
+type fallAttack struct {
+	opts Options
+}
+
+// New returns the FALL attack as an attack.Attack with the given options.
+// The Target's H parameter overrides opts.H at Run time, so one configured
+// instance serves every locking configuration.
+func New(opts Options) attack.Attack { return &fallAttack{opts: opts} }
+
+func (f *fallAttack) Name() string      { return "fall" }
+func (f *fallAttack) NeedsOracle() bool { return false }
+
+func (f *fallAttack) Run(ctx context.Context, tgt attack.Target) (*attack.Result, error) {
+	if err := attack.CheckTarget(f, tgt); err != nil {
+		return nil, err
+	}
+	opts := f.opts
+	opts.H = tgt.H
+	start := time.Now()
+	res, err := Attack(ctx, tgt.Locked, opts)
+	out := &attack.Result{
+		Attack:  f.Name(),
+		Elapsed: time.Since(start),
+		Details: res,
+	}
+	if res != nil {
+		for _, ck := range res.Keys {
+			out.Keys = append(out.Keys, ck.Key)
+		}
+	}
+	switch {
+	case err == ErrTimeout:
+		out.Status = attack.StatusTimeout
+	case err != nil:
+		return nil, err
+	case len(out.Keys) == 1:
+		out.Status = attack.StatusUniqueKey
+	case len(out.Keys) > 1:
+		out.Status = attack.StatusShortlist
+	default:
+		out.Status = attack.StatusInconclusive
+	}
+	return out, nil
+}
+
+func init() { attack.Register(New(Options{})) }

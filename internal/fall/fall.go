@@ -18,6 +18,7 @@
 package fall
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,12 +27,14 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/sat"
 )
 
-// ErrTimeout is returned when an analysis exceeds its deadline.
+// ErrTimeout is returned when an analysis exceeds its context budget
+// (cancellation or deadline).
 var ErrTimeout = errors.New("fall: analysis timed out")
 
 // Analysis selects which functional analysis drives the attack.
@@ -70,8 +73,6 @@ type Options struct {
 	// Enc selects the cardinality encoding for Hamming-distance
 	// constraints.
 	Enc cnf.CardEncoding
-	// Deadline bounds the attack wall-clock time; zero means none.
-	Deadline time.Time
 	// DisableSimPrefilter turns off the random-simulation pre-filter in
 	// the unateness analysis (ablation knob; the SAT queries alone are
 	// exact).
@@ -296,8 +297,10 @@ func SupportMatch(c *circuit.Circuit, compX []int) []int {
 }
 
 // analysisContext carries a candidate node's extracted cone and SAT
-// encoding state shared by the functional analyses.
+// encoding state shared by the functional analyses, plus the run context
+// bounding every SAT query.
 type analysisContext struct {
+	ctx      context.Context
 	cone     *circuit.Circuit
 	inputMap map[int]int // cone input id -> locked-circuit node id
 	inputs   []int       // cone input ids, sorted
@@ -305,7 +308,7 @@ type analysisContext struct {
 	opts     *Options
 }
 
-func newAnalysisContext(c *circuit.Circuit, node int, neg bool, opts *Options) (*analysisContext, error) {
+func newAnalysisContext(ctx context.Context, c *circuit.Circuit, node int, neg bool, opts *Options) (*analysisContext, error) {
 	cone, im := c.Cone(node)
 	ins := cone.Inputs()
 	for _, id := range ins {
@@ -313,7 +316,7 @@ func newAnalysisContext(c *circuit.Circuit, node int, neg bool, opts *Options) (
 			return nil, fmt.Errorf("fall: candidate node %d depends on a key input", node)
 		}
 	}
-	return &analysisContext{cone: cone, inputMap: im, inputs: ins, neg: neg, opts: opts}, nil
+	return &analysisContext{ctx: ctx, cone: cone, inputMap: im, inputs: ins, neg: neg, opts: opts}, nil
 }
 
 // densityFilter reports whether the analyzed function's sampled on-set
@@ -358,16 +361,12 @@ func (a *analysisContext) densityFilter(h int) bool {
 	return true
 }
 
-func (a *analysisContext) deadlineSolver() *sat.Solver {
-	s := sat.New()
-	if !a.opts.Deadline.IsZero() {
-		s.SetDeadline(a.opts.Deadline)
-	}
-	return s
+func (a *analysisContext) solver() *sat.Solver {
+	return attack.NewSolver(a.ctx)
 }
 
 func (a *analysisContext) expired() bool {
-	return !a.opts.Deadline.IsZero() && time.Now().After(a.opts.Deadline)
+	return a.ctx.Err() != nil
 }
 
 // AnalyzeUnateness implements Algorithm 1 (Lemma 1): if the cone function
@@ -444,7 +443,7 @@ func (a *analysisContext) checkUnate(xi int, positive, knownViolated bool) (bool
 	if knownViolated {
 		return false, nil
 	}
-	s := a.deadlineSolver()
+	s := a.solver()
 	e := cnf.NewEncoder(s)
 	shared := make(map[int]sat.Lit, len(a.inputs))
 	for _, in := range a.inputs {
@@ -488,7 +487,7 @@ func (a *analysisContext) checkUnate(xi int, positive, knownViolated bool) (bool
 // hdInstance encodes F = cone(X) ∧ cone(X') ∧ HD(X, X') = 2h and returns
 // the solver, the input literal vectors and the difference literals.
 func (a *analysisContext) hdInstance(h int) (*sat.Solver, []sat.Lit, []sat.Lit, []sat.Lit) {
-	s := a.deadlineSolver()
+	s := a.solver()
 	e := cnf.NewEncoder(s)
 	lits1 := e.EncodeCircuitWith(a.cone, nil)
 	given2 := make(map[int]sat.Lit)
@@ -539,11 +538,11 @@ func (a *analysisContext) SlidingWindowAnalysis(h int) (map[int]bool, bool, erro
 		}
 		// Lemma 3: exactly one of xi=x'i=mi, xi=x'i=m'i is satisfiable,
 		// and that value is the key bit.
-		ri := s.SolveAssuming([]sat.Lit{ds[p.i].Neg(), litWithValue(xs[p.i], p.mi)})
+		ri := s.SolveAssuming([]sat.Lit{ds[p.i].Neg(), attack.LitWithValue(xs[p.i], p.mi)})
 		if ri == sat.Unknown {
 			return nil, false, ErrTimeout
 		}
-		rj := s.SolveAssuming([]sat.Lit{ds[p.i].Neg(), litWithValue(xs[p.i], p.mj)})
+		rj := s.SolveAssuming([]sat.Lit{ds[p.i].Neg(), attack.LitWithValue(xs[p.i], p.mj)})
 		if rj == sat.Unknown {
 			return nil, false, ErrTimeout
 		}
@@ -611,18 +610,11 @@ func (a *analysisContext) Distance2HAnalysis(h int) (map[int]bool, bool, error) 
 	return cube, true, nil
 }
 
-func litWithValue(l sat.Lit, v bool) sat.Lit {
-	if v {
-		return l
-	}
-	return l.Neg()
-}
-
 // EquivalenceCheck implements §IV-C: verify cktfn == strip_h(cube) by a
 // miter between the cone and a reference Hamming-distance comparator. The
 // lemmas are necessary conditions only; this check makes them sufficient.
 func (a *analysisContext) EquivalenceCheck(cube map[int]bool, h int) (bool, error) {
-	s := a.deadlineSolver()
+	s := a.solver()
 	e := cnf.NewEncoder(s)
 	lits := e.EncodeCircuitWith(a.cone, nil)
 	f := lits[a.cone.Outputs[0]]
@@ -664,7 +656,12 @@ func (a *analysisContext) EquivalenceCheck(cube map[int]bool, h int) (bool, erro
 // Attack runs the full FALL pipeline on a locked netlist and returns the
 // shortlisted keys. The locked circuit's key inputs must be marked (IsKey)
 // and h must match the locking parameter (known to the adversary, §II-A).
-func Attack(locked *circuit.Circuit, opts Options) (*Result, error) {
+// Cancelling ctx (or letting its deadline pass) stops the attack promptly;
+// the partial Result accumulated so far is returned alongside ErrTimeout.
+func Attack(ctx context.Context, locked *circuit.Circuit, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	res := &Result{}
 
@@ -700,24 +697,24 @@ func Attack(locked *circuit.Circuit, opts Options) (*Result, error) {
 	sigs := map[string]bool{}
 	for _, cand := range res.Candidates {
 		for _, neg := range []bool{false, true} {
-			if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			if ctx.Err() != nil {
 				return res, ErrTimeout
 			}
-			ctx, err := newAnalysisContext(locked, cand, neg, &opts)
+			actx, err := newAnalysisContext(ctx, locked, cand, neg, &opts)
 			if err != nil {
 				continue
 			}
-			if !ctx.densityFilter(opts.H) {
+			if !actx.densityFilter(opts.H) {
 				continue
 			}
-			cube, ok, algo, err := runAnalysis(ctx, m, opts)
+			cube, ok, algo, err := runAnalysis(actx, m, opts)
 			if err != nil {
 				return res, err
 			}
 			if !ok {
 				continue
 			}
-			okEq, err := ctx.EquivalenceCheck(cube, opts.H)
+			okEq, err := actx.EquivalenceCheck(cube, opts.H)
 			if err != nil {
 				return res, err
 			}

@@ -1,10 +1,10 @@
 package fall
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
-	"time"
 
 	"repro/internal/aig"
 	"repro/internal/circuit"
@@ -96,7 +96,7 @@ func TestSupportMatchFindsStripper(t *testing.T) {
 
 func TestAttackTTLockFig2a(t *testing.T) {
 	_, lr := lockFig2a(t, 0, 7)
-	res, err := Attack(lr.Locked, Options{H: 0})
+	res, err := Attack(context.Background(), lr.Locked, Options{H: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestAttackTTLockFig2a(t *testing.T) {
 
 func TestAttackSFLLHD1Fig2a(t *testing.T) {
 	_, lr := lockFig2a(t, 1, 11)
-	res, err := Attack(lr.Locked, Options{H: 1})
+	res, err := Attack(context.Background(), lr.Locked, Options{H: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestAttackSFLLVariousAnalyses(t *testing.T) {
 		if err != nil {
 			t.Fatalf("h=%d: lock: %v", tc.h, err)
 		}
-		res, err := Attack(lr.Locked, Options{H: tc.h, Analysis: tc.analysis})
+		res, err := Attack(context.Background(), lr.Locked, Options{H: tc.h, Analysis: tc.analysis})
 		if err != nil {
 			t.Fatalf("h=%d %v: %v", tc.h, tc.analysis, err)
 		}
@@ -164,7 +164,7 @@ func TestAttackWithSeqCounterEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Attack(lr.Locked, Options{H: 2, Enc: cnf.SeqCounter})
+	res, err := Attack(context.Background(), lr.Locked, Options{H: 2, Enc: cnf.SeqCounter})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,9 +180,11 @@ func TestAttackTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Attack(lr.Locked, Options{H: 2, Deadline: time.Now().Add(-time.Second)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled: the attack must stop before any analysis
+	_, err = Attack(ctx, lr.Locked, Options{H: 2})
 	if err != ErrTimeout {
-		t.Errorf("expired deadline: err = %v, want ErrTimeout", err)
+		t.Errorf("cancelled context: err = %v, want ErrTimeout", err)
 	}
 }
 
@@ -190,7 +192,7 @@ func TestAttackUnlockedCircuitFindsNothing(t *testing.T) {
 	// A circuit without key inputs has no comparators; the attack reports
 	// no keys rather than failing.
 	orig := testcirc.Fig2a()
-	res, err := Attack(orig, Options{H: 0})
+	res, err := Attack(context.Background(), orig, Options{H: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +212,7 @@ func TestAttackRLLFindsNoStripper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Attack(lr.Locked, Options{H: 0})
+	res, err := Attack(context.Background(), lr.Locked, Options{H: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +253,7 @@ func TestQuickLemma1Unateness(t *testing.T) {
 		}
 		c := buildCube(m, cube)
 		opts := Options{H: 0}
-		ctx, err := newAnalysisContext(c, c.Outputs[0], false, &opts)
+		ctx, err := newAnalysisContext(context.Background(), c, c.Outputs[0], false, &opts)
 		if err != nil {
 			return false
 		}
@@ -281,7 +283,7 @@ func TestUnatenessRejectsBinate(t *testing.T) {
 	c.MarkOutput(g)
 	for _, pre := range []bool{false, true} {
 		opts := Options{H: 0, DisableSimPrefilter: pre}
-		ctx, err := newAnalysisContext(c, g, false, &opts)
+		ctx, err := newAnalysisContext(context.Background(), c, g, false, &opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -356,7 +358,7 @@ func TestQuickLemmas23OnTrueStripper(t *testing.T) {
 		}
 		c := aig.Strash(buildStripHD(m, h, cube))
 		opts := Options{H: h}
-		ctx, err := newAnalysisContext(c, c.Outputs[0], false, &opts)
+		ctx, err := newAnalysisContext(context.Background(), c, c.Outputs[0], false, &opts)
 		if err != nil {
 			return false
 		}
@@ -391,7 +393,7 @@ func TestEquivalenceCheckRejectsWrongCube(t *testing.T) {
 	cube := []bool{true, false, true, true}
 	c := buildCube(4, cube)
 	opts := Options{H: 0}
-	ctx, err := newAnalysisContext(c, c.Outputs[0], false, &opts)
+	ctx, err := newAnalysisContext(context.Background(), c, c.Outputs[0], false, &opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +421,7 @@ func TestSlidingWindowRejectsNonStripper(t *testing.T) {
 	g := c.MustGate("g", circuit.Xor, ins...)
 	c.MarkOutput(g)
 	opts := Options{H: 1}
-	ctx, err := newAnalysisContext(c, g, false, &opts)
+	ctx, err := newAnalysisContext(context.Background(), c, g, false, &opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +447,7 @@ func TestCandidateWithKeySupportRejected(t *testing.T) {
 	g := c.MustGate("g", circuit.And, x, k)
 	c.MarkOutput(g)
 	opts := Options{}
-	if _, err := newAnalysisContext(c, g, false, &opts); err == nil {
+	if _, err := newAnalysisContext(context.Background(), c, g, false, &opts); err == nil {
 		t.Error("analysis context accepted key-dependent candidate")
 	}
 }
@@ -459,7 +461,7 @@ func TestAttackKeySubsetOfInputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Attack(lr.Locked, Options{H: 1})
+	res, err := Attack(context.Background(), lr.Locked, Options{H: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -487,7 +489,7 @@ func TestQuickAttackRecoversPlantedKeys(t *testing.T) {
 			t.Logf("seed %d: lock: %v", seed, err)
 			return false
 		}
-		res, err := Attack(lr.Locked, Options{H: h})
+		res, err := Attack(context.Background(), lr.Locked, Options{H: h})
 		if err != nil {
 			t.Logf("seed %d: attack: %v", seed, err)
 			return false

@@ -1,0 +1,54 @@
+package keyconfirm
+
+import (
+	"context"
+
+	"repro/internal/attack"
+)
+
+// kcAttack adapts key confirmation to the unified attack API.
+type kcAttack struct {
+	opts Options
+}
+
+// New returns key confirmation as an attack.Attack. Target.Candidates is
+// the φ shortlist (empty means φ = true, i.e. the full SAT attack) and
+// Target.MaxIterations caps distinguishing-input queries when non-zero.
+func New(opts Options) attack.Attack { return &kcAttack{opts: opts} }
+
+func (k *kcAttack) Name() string      { return "keyconfirm" }
+func (k *kcAttack) NeedsOracle() bool { return true }
+
+func (k *kcAttack) Run(ctx context.Context, tgt attack.Target) (*attack.Result, error) {
+	if err := attack.CheckTarget(k, tgt); err != nil {
+		return nil, err
+	}
+	opts := k.opts
+	if tgt.MaxIterations != 0 {
+		opts.MaxIterations = tgt.MaxIterations
+	}
+	res, err := Confirm(ctx, tgt.Locked, tgt.Candidates, tgt.Oracle, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &attack.Result{
+		Attack:        k.Name(),
+		Iterations:    res.Iterations,
+		OracleQueries: res.OracleQueries,
+		Elapsed:       res.Elapsed,
+		Details:       res,
+	}
+	switch {
+	case res.Confirmed:
+		out.Status = attack.StatusUniqueKey
+		out.Keys = []attack.Key{res.Key}
+	case res.TimedOut:
+		out.Status = attack.StatusTimeout
+	default:
+		// ⊥: the candidate guess φ is provably wrong (Lemma 4).
+		out.Status = attack.StatusRefuted
+	}
+	return out, nil
+}
+
+func init() { attack.Register(New(Options{})) }

@@ -25,10 +25,11 @@
 package keyconfirm
 
 import (
+	"context"
 	"fmt"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/oracle"
@@ -52,38 +53,37 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Options tunes the confirmation run.
+// Options tunes the confirmation run. Wall-clock budgets and external
+// cancellation are expressed through the run context: cancel it (or set
+// a deadline on it) and Confirm reports TimedOut.
 type Options struct {
-	// Deadline bounds wall-clock time (zero = none).
-	Deadline time.Time
 	// DisableDoubleDIP turns off the accelerated two-copy phase and runs
 	// pure Algorithm 4 (ablation knob).
 	DisableDoubleDIP bool
 	// MaxIterations bounds distinguishing-input queries (<= 0: unlimited).
 	MaxIterations int
-	// Interrupt, when non-nil, cancels the run from another goroutine:
-	// once the flag is true every internal SAT call returns Unknown and
-	// Confirm reports TimedOut. Used by ConfirmParallel.
-	Interrupt *atomic.Bool
 }
 
 // Confirm runs key confirmation with φ = OR over the candidate key
 // assignments. An empty candidate list means φ = true (degenerates to the
 // SAT attack over the whole key space).
-func Confirm(locked *circuit.Circuit, candidates []map[string]bool, orc oracle.Oracle, opts Options) (*Result, error) {
+func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[string]bool, orc oracle.Oracle, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	res := &Result{}
 	keys := locked.KeyInputs()
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("keyconfirm: circuit has no key inputs")
 	}
-	outIdx, err := outputIndex(locked, orc)
+	outIdx, err := attack.OutputIndex(locked, orc)
 	if err != nil {
 		return nil, err
 	}
 
 	// Solver P: candidate keys satisfying φ and observed I/O patterns.
-	p := sat.New()
+	p := attack.NewSolver(ctx)
 	pe := cnf.NewEncoder(p)
 	kp := make([]sat.Lit, len(keys))
 	givenP := make(map[int]sat.Lit, len(keys))
@@ -96,14 +96,14 @@ func Confirm(locked *circuit.Circuit, candidates []map[string]bool, orc oracle.O
 	}
 
 	// Solver Q: single-copy miter per Algorithm 4 (the sound terminator).
-	q := sat.New()
+	q := attack.NewSolver(ctx)
 	qe := cnf.NewEncoder(q)
 	q1lits := qe.EncodeCircuitWith(locked, nil)
 	sharedQ := piShared(locked, q1lits)
 	q2lits := qe.EncodeCircuitWith(locked, sharedQ)
 	qe.NotEqual(cnf.EncodedOutputs(locked, q1lits), cnf.EncodedOutputs(locked, q2lits))
 	qK1 := cnf.InputLits(keys, q1lits)
-	qK2given := keyGiven(keys, cnf.InputLits(keys, q2lits))
+	qK2given := attack.KeyGiven(keys, cnf.InputLits(keys, q2lits))
 
 	// Solver D: accelerated double-DIP miter (two other-key copies).
 	var d *sat.Solver
@@ -112,7 +112,7 @@ func Confirm(locked *circuit.Circuit, candidates []map[string]bool, orc oracle.O
 	var dPIs []sat.Lit
 	var dK2given, dK3given map[int]sat.Lit
 	if !opts.DisableDoubleDIP {
-		d = sat.New()
+		d = attack.NewSolver(ctx)
 		de = cnf.NewEncoder(d)
 		d1 := de.EncodeCircuitWith(locked, nil)
 		sharedD := piShared(locked, d1)
@@ -125,22 +125,8 @@ func Confirm(locked *circuit.Circuit, candidates []map[string]bool, orc oracle.O
 		de.NotEqual(k2, k3) // the two other keys are distinct
 		dK1 = cnf.InputLits(keys, d1)
 		dPIs = cnf.InputLits(locked.PrimaryInputs(), d1)
-		dK2given = keyGiven(keys, k2)
-		dK3given = keyGiven(keys, k3)
-	}
-	if !opts.Deadline.IsZero() {
-		p.SetDeadline(opts.Deadline)
-		q.SetDeadline(opts.Deadline)
-		if d != nil {
-			d.SetDeadline(opts.Deadline)
-		}
-	}
-	if opts.Interrupt != nil {
-		p.SetInterrupt(opts.Interrupt)
-		q.SetInterrupt(opts.Interrupt)
-		if d != nil {
-			d.SetInterrupt(opts.Interrupt)
-		}
+		dK2given = attack.KeyGiven(keys, k2)
+		dK3given = attack.KeyGiven(keys, k3)
 	}
 
 	qPIs := cnf.InputLits(locked.PrimaryInputs(), q1lits)
@@ -166,14 +152,14 @@ func Confirm(locked *circuit.Circuit, candidates []map[string]bool, orc oracle.O
 		assumpsQ := make([]sat.Lit, len(keys))
 		for i := range keys {
 			ki[i] = p.LitTrue(kp[i])
-			assumpsQ[i] = litWithValue(qK1[i], ki[i])
+			assumpsQ[i] = attack.LitWithValue(qK1[i], ki[i])
 		}
 
 		// Accelerated phase: distinguish Ki from two keys at once.
 		if doublePhase {
 			assumpsD := make([]sat.Lit, len(keys))
 			for i := range keys {
-				assumpsD[i] = litWithValue(dK1[i], ki[i])
+				assumpsD[i] = attack.LitWithValue(dK1[i], ki[i])
 			}
 			switch d.SolveAssuming(assumpsD) {
 			case sat.Unknown:
@@ -186,13 +172,13 @@ func Confirm(locked *circuit.Circuit, candidates []map[string]bool, orc oracle.O
 				doublePhase = false
 			case sat.Sat:
 				res.Iterations++
-				xd := modelInput(locked, d, dPIs)
+				xd := attack.ModelInput(locked, d, dPIs)
 				yd := orc.Query(xd)
 				res.OracleQueries++
-				addIOConstraint(pe, locked, xd, yd, outIdx, givenP)
-				addIOConstraint(qe, locked, xd, yd, outIdx, qK2given)
-				addIOConstraint(de, locked, xd, yd, outIdx, dK2given)
-				addIOConstraint(de, locked, xd, yd, outIdx, dK3given)
+				attack.AddIOConstraint(pe, locked, xd, yd, outIdx, givenP)
+				attack.AddIOConstraint(qe, locked, xd, yd, outIdx, qK2given)
+				attack.AddIOConstraint(de, locked, xd, yd, outIdx, dK2given)
+				attack.AddIOConstraint(de, locked, xd, yd, outIdx, dK3given)
 				continue
 			}
 		}
@@ -214,15 +200,15 @@ func Confirm(locked *circuit.Circuit, candidates []map[string]bool, orc oracle.O
 			return res, nil
 		}
 		res.Iterations++
-		xd := modelInput(locked, q, qPIs)
+		xd := attack.ModelInput(locked, q, qPIs)
 		yd := orc.Query(xd)
 		res.OracleQueries++
 		// Lines 15-16.
-		addIOConstraint(pe, locked, xd, yd, outIdx, givenP)
-		addIOConstraint(qe, locked, xd, yd, outIdx, qK2given)
+		attack.AddIOConstraint(pe, locked, xd, yd, outIdx, givenP)
+		attack.AddIOConstraint(qe, locked, xd, yd, outIdx, qK2given)
 		if d != nil {
-			addIOConstraint(de, locked, xd, yd, outIdx, dK2given)
-			addIOConstraint(de, locked, xd, yd, outIdx, dK3given)
+			attack.AddIOConstraint(de, locked, xd, yd, outIdx, dK2given)
+			attack.AddIOConstraint(de, locked, xd, yd, outIdx, dK3given)
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -242,7 +228,7 @@ func encodePhi(p *sat.Solver, pe *cnf.Encoder, locked *circuit.Circuit, keys []i
 			if !ok {
 				continue // unconstrained bit in this candidate
 			}
-			p.AddClause(sel.Neg(), litWithValue(kp[i], v))
+			p.AddClause(sel.Neg(), attack.LitWithValue(kp[i], v))
 		}
 	}
 	p.AddClause(sels...)
@@ -254,64 +240,4 @@ func piShared(locked *circuit.Circuit, lits []sat.Lit) map[int]sat.Lit {
 		shared[pi] = lits[pi]
 	}
 	return shared
-}
-
-func keyGiven(keys []int, lits []sat.Lit) map[int]sat.Lit {
-	m := make(map[int]sat.Lit, len(keys))
-	for i, k := range keys {
-		m[k] = lits[i]
-	}
-	return m
-}
-
-func modelInput(locked *circuit.Circuit, s *sat.Solver, piLits []sat.Lit) map[string]bool {
-	pis := locked.PrimaryInputs()
-	xd := make(map[string]bool, len(pis))
-	for i, pi := range pis {
-		xd[locked.Nodes[pi].Name] = s.LitTrue(piLits[i])
-	}
-	return xd
-}
-
-func litWithValue(l sat.Lit, v bool) sat.Lit {
-	if v {
-		return l
-	}
-	return l.Neg()
-}
-
-func addIOConstraint(e *cnf.Encoder, locked *circuit.Circuit, xd map[string]bool, yd []bool, outIdx []int, keyLits map[int]sat.Lit) {
-	given := make(map[int]sat.Lit, len(xd)+len(keyLits))
-	for k, v := range keyLits {
-		given[k] = v
-	}
-	for _, pi := range locked.PrimaryInputs() {
-		given[pi] = e.ConstLit(xd[locked.Nodes[pi].Name])
-	}
-	lits := e.EncodeCircuitWith(locked, given)
-	for i, o := range locked.Outputs {
-		e.Fix(lits[o], yd[outIdx[i]])
-	}
-}
-
-func outputIndex(locked *circuit.Circuit, orc oracle.Oracle) ([]int, error) {
-	names := orc.OutputNames()
-	byName := make(map[string]int, len(names))
-	for i, n := range names {
-		byName[n] = i
-	}
-	idx := make([]int, len(locked.Outputs))
-	for i, o := range locked.Outputs {
-		n := locked.Nodes[o].Name
-		j, ok := byName[n]
-		if !ok {
-			if i < len(names) {
-				j = i
-			} else {
-				return nil, fmt.Errorf("keyconfirm: output %q not known to oracle", n)
-			}
-		}
-		idx[i] = j
-	}
-	return idx, nil
 }

@@ -1,8 +1,8 @@
 package keyconfirm
 
 import (
+	"context"
 	"math/rand"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -32,13 +32,21 @@ func complementKey(key map[string]bool) map[string]bool {
 	return out
 }
 
+// testCtx returns a context bounding a confirmation test run.
+func testCtx(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
 func TestConfirmPicksCorrectAmongTwo(t *testing.T) {
 	// The paper's canonical scenario: FALL shortlists the correct key and
 	// its bitwise complement; confirmation must pick the correct one.
 	orig, lr := lockTT(t, 14, 100, 12, 21)
 	orc := oracle.NewSim(orig)
 	cands := []map[string]bool{complementKey(lr.Key), lr.Key} // wrong first
-	res, err := Confirm(lr.Locked, cands, orc, Options{Deadline: time.Now().Add(30 * time.Second)})
+	res, err := Confirm(testCtx(t, 30*time.Second), lr.Locked, cands, orc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +74,7 @@ func TestConfirmReturnsBottomForWrongGuesses(t *testing.T) {
 		w2[k] = v
 	}
 	w2[lr.KeyNames[0]] = !w2[lr.KeyNames[0]]
-	res, err := Confirm(lr.Locked, []map[string]bool{w1, w2}, orc, Options{Deadline: time.Now().Add(30 * time.Second)})
+	res, err := Confirm(testCtx(t, 30*time.Second), lr.Locked, []map[string]bool{w1, w2}, orc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +89,7 @@ func TestConfirmReturnsBottomForWrongGuesses(t *testing.T) {
 func TestConfirmSingleCorrectCandidate(t *testing.T) {
 	orig, lr := lockTT(t, 12, 80, 10, 45)
 	orc := oracle.NewSim(orig)
-	res, err := Confirm(lr.Locked, []map[string]bool{lr.Key}, orc, Options{Deadline: time.Now().Add(30 * time.Second)})
+	res, err := Confirm(testCtx(t, 30*time.Second), lr.Locked, []map[string]bool{lr.Key}, orc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,8 +105,7 @@ func TestConfirmPureAlgorithm4SmallKey(t *testing.T) {
 	orig, lr := lockTT(t, 8, 60, 6, 51)
 	orc := oracle.NewSim(orig)
 	cands := []map[string]bool{complementKey(lr.Key), lr.Key}
-	res, err := Confirm(lr.Locked, cands, orc, Options{
-		Deadline:         time.Now().Add(60 * time.Second),
+	res, err := Confirm(testCtx(t, 60*time.Second), lr.Locked, cands, orc, Options{
 		DisableDoubleDIP: true,
 	})
 	if err != nil {
@@ -124,7 +131,7 @@ func TestConfirmPhiTrueDevolvesToSATAttack(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewSim(orig)
-	res, err := Confirm(lr.Locked, nil, orc, Options{Deadline: time.Now().Add(30 * time.Second)})
+	res, err := Confirm(testCtx(t, 30*time.Second), lr.Locked, nil, orc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,8 +150,8 @@ func TestConfirmBeatsSATAttackOnSFLL(t *testing.T) {
 	// budget.
 	orig, lr := lockTT(t, 18, 120, 16, 71)
 	orc1 := oracle.NewSim(orig)
-	conf, err := Confirm(lr.Locked, []map[string]bool{lr.Key, complementKey(lr.Key)}, orc1,
-		Options{Deadline: time.Now().Add(60 * time.Second)})
+	conf, err := Confirm(testCtx(t, 60*time.Second), lr.Locked,
+		[]map[string]bool{lr.Key, complementKey(lr.Key)}, orc1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +159,7 @@ func TestConfirmBeatsSATAttackOnSFLL(t *testing.T) {
 		t.Fatalf("confirmation failed: %+v", conf)
 	}
 	orc2 := oracle.NewSim(orig)
-	sa, err := satattack.Run(lr.Locked, orc2, time.Now().Add(10*time.Second), 200)
+	sa, err := satattack.Run(testCtx(t, 10*time.Second), lr.Locked, orc2, satattack.Options{MaxIterations: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,21 +172,23 @@ func TestConfirmBeatsSATAttackOnSFLL(t *testing.T) {
 		conf.Iterations, conf.Elapsed, sa.Solved, sa.Iterations, sa.Elapsed)
 }
 
-func TestConfirmDeadline(t *testing.T) {
+func TestConfirmCancelledContext(t *testing.T) {
 	orig, lr := lockTT(t, 14, 100, 12, 81)
 	orc := oracle.NewSim(orig)
-	res, err := Confirm(lr.Locked, []map[string]bool{lr.Key}, orc, Options{Deadline: time.Now().Add(-time.Second)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled
+	res, err := Confirm(ctx, lr.Locked, []map[string]bool{lr.Key}, orc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.TimedOut {
-		t.Error("expired deadline did not stop confirmation")
+		t.Error("cancelled context did not stop confirmation")
 	}
 }
 
 func TestConfirmNoKeysErrors(t *testing.T) {
 	orig := testcirc.Fig2a()
-	if _, err := Confirm(orig, nil, oracle.NewSim(orig), Options{}); err == nil {
+	if _, err := Confirm(context.Background(), orig, nil, oracle.NewSim(orig), Options{}); err == nil {
 		t.Error("circuit without keys accepted")
 	}
 }
@@ -195,7 +204,7 @@ func TestConfirmPartialCandidateBits(t *testing.T) {
 			partial[name] = lr.Key[name]
 		}
 	}
-	res, err := Confirm(lr.Locked, []map[string]bool{partial}, orc, Options{Deadline: time.Now().Add(60 * time.Second)})
+	res, err := Confirm(testCtx(t, 60*time.Second), lr.Locked, []map[string]bool{partial}, orc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,8 +224,8 @@ func TestConfirmSFLLHD2(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewSim(orig)
-	res, err := Confirm(lr.Locked, []map[string]bool{complementKey(lr.Key), lr.Key}, orc,
-		Options{Deadline: time.Now().Add(60 * time.Second)})
+	res, err := Confirm(testCtx(t, 60*time.Second), lr.Locked,
+		[]map[string]bool{complementKey(lr.Key), lr.Key}, orc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,8 +245,8 @@ func TestConfirmParallelPartitionedSATAttack(t *testing.T) {
 	// four regions of a 2^10 TTLock key space race; the region holding
 	// the correct key confirms it and cancels the others.
 	orig, lr := lockTT(t, 12, 80, 10, 111)
-	res, err := ConfirmParallel(lr.Locked, 2, func() oracle.Oracle { return oracle.NewSim(orig) },
-		Options{Deadline: time.Now().Add(120 * time.Second)})
+	res, err := ConfirmParallel(testCtx(t, 120*time.Second), lr.Locked, 2,
+		func() oracle.Oracle { return oracle.NewSim(orig) }, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,23 +267,33 @@ func TestConfirmParallelPartitionedSATAttack(t *testing.T) {
 
 func TestConfirmParallelBitsValidation(t *testing.T) {
 	orig, lr := lockTT(t, 8, 60, 6, 121)
-	if _, err := ConfirmParallel(lr.Locked, 99, func() oracle.Oracle { return oracle.NewSim(orig) }, Options{}); err == nil {
+	if _, err := ConfirmParallel(context.Background(), lr.Locked, 99, func() oracle.Oracle { return oracle.NewSim(orig) }, Options{}); err == nil {
 		t.Error("bits > keys accepted")
 	}
-	if _, err := ConfirmParallel(orig, 1, func() oracle.Oracle { return oracle.NewSim(orig) }, Options{}); err == nil {
+	if _, err := ConfirmParallel(context.Background(), orig, 1, func() oracle.Oracle { return oracle.NewSim(orig) }, Options{}); err == nil {
 		t.Error("keyless circuit accepted")
 	}
 }
 
-func TestInterruptStopsConfirm(t *testing.T) {
+func TestCancelMidRunStopsConfirm(t *testing.T) {
+	// Cancellation from another goroutine mid-attack must stop the run
+	// promptly with a TimedOut verdict (the φ=true full SAT attack on a
+	// 2^14 key space would otherwise run far longer).
 	orig, lr := lockTT(t, 16, 120, 14, 131)
-	var stop atomic.Bool
-	stop.Store(true) // pre-cancelled
-	res, err := Confirm(lr.Locked, nil, oracle.NewSim(orig), Options{Interrupt: &stop})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Confirm(ctx, lr.Locked, nil, oracle.NewSim(orig), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.TimedOut {
-		t.Errorf("pre-cancelled run returned %+v, want TimedOut", res)
+		t.Errorf("cancelled run returned %+v, want TimedOut", res)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %v to take effect", elapsed)
 	}
 }

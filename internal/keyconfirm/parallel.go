@@ -1,9 +1,9 @@
 package keyconfirm
 
 import (
+	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/oracle"
@@ -30,11 +30,14 @@ type ParallelResult struct {
 // the 2^bits combinations, and one key confirmation runs per region in
 // its own goroutine (the authors' prototype was single-threaded; this is
 // the natural Go realization). The first confirmed region cancels the
-// rest via the solver interrupt flag.
+// rest by cancelling the context the remaining regions run under.
 //
 // oracleFactory must return an independent oracle per region (oracles
 // count queries and are not safe for concurrent use).
-func ConfirmParallel(locked *circuit.Circuit, bits int, oracleFactory func() oracle.Oracle, opts Options) (*ParallelResult, error) {
+func ConfirmParallel(ctx context.Context, locked *circuit.Circuit, bits int, oracleFactory func() oracle.Oracle, opts Options) (*ParallelResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	keys := locked.KeyInputs()
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("keyconfirm: circuit has no key inputs")
@@ -43,7 +46,8 @@ func ConfirmParallel(locked *circuit.Circuit, bits int, oracleFactory func() ora
 		return nil, fmt.Errorf("keyconfirm: partition bits %d out of range (0..min(16, %d))", bits, len(keys))
 	}
 	regions := 1 << uint(bits)
-	var stop atomic.Bool
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type regionOutcome struct {
 		res *Result
 		err error
@@ -60,16 +64,14 @@ func ConfirmParallel(locked *circuit.Circuit, bits int, oracleFactory func() ora
 			for i := 0; i < bits; i++ {
 				region[locked.Nodes[keys[i]].Name] = r&(1<<uint(i)) != 0
 			}
-			ropts := opts
-			ropts.Interrupt = &stop
 			var cands []map[string]bool
 			if bits > 0 {
 				cands = []map[string]bool{region}
 			}
-			res, err := Confirm(locked, cands, oracleFactory(), ropts)
+			res, err := Confirm(rctx, locked, cands, oracleFactory(), opts)
 			outcomes[r] = regionOutcome{res, err}
 			if err == nil && res.Confirmed {
-				stop.Store(true) // cancel the other regions
+				cancel() // cancel the other regions
 			}
 		}(r)
 	}

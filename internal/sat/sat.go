@@ -11,8 +11,8 @@
 package sat
 
 import (
+	"context"
 	"fmt"
-	"sync/atomic"
 	"time"
 )
 
@@ -150,7 +150,8 @@ type Solver struct {
 	// Budgets.
 	conflictLimit int64 // 0 = unlimited
 	deadline      time.Time
-	interrupt     *atomic.Bool // optional external cancellation
+	ctx           context.Context // optional external cancellation
+	budgetPolls   uint32          // throttles the in-search budget checks
 
 	model []lbool // last satisfying assignment
 
@@ -198,11 +199,11 @@ func (s *Solver) SetConflictLimit(n int64) { s.conflictLimit = n }
 // search; a zero time removes it. When exceeded, Solve returns Unknown.
 func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
 
-// SetInterrupt registers an external cancellation flag, checked at the
-// same points as the deadline: when flag becomes true, the current and
-// any subsequent Solve calls return Unknown until the flag is cleared.
-// Safe to set from other goroutines (the flag itself is atomic).
-func (s *Solver) SetInterrupt(flag *atomic.Bool) { s.interrupt = flag }
+// SetContext attaches a context checked at the same points as the
+// deadline: once ctx is cancelled or its deadline passes (ctx.Err()
+// reports both), the current and any subsequent Solve calls return
+// Unknown. Passing nil detaches the context.
+func (s *Solver) SetContext(ctx context.Context) { s.ctx = ctx }
 
 func (s *Solver) litValue(l Lit) lbool {
 	v := s.value[l.Var()]
@@ -656,17 +657,28 @@ func (s *Solver) pickBranchVar() int {
 	return -1
 }
 
+// budgetExceeded is the per-decision check inside search. ctx.Err() takes
+// a mutex and time.Now() is a syscall, so both are rationed to every 256
+// calls — but by a dedicated poll counter, not the conflict count, so
+// cancellation is still noticed promptly on conflict-free instances.
+// SolveAssuming performs one unthrottled check on entry.
 func (s *Solver) budgetExceeded() bool {
-	if s.interrupt != nil && s.interrupt.Load() {
-		return true
-	}
 	if s.conflictLimit > 0 && s.Stats.Conflicts >= s.conflictLimit {
 		return true
 	}
-	if !s.deadline.IsZero() && s.Stats.Conflicts%256 == 0 && time.Now().After(s.deadline) {
-		return true
+	s.budgetPolls++
+	if s.budgetPolls&255 == 0 {
+		return s.budgetExceededNow()
 	}
 	return false
+}
+
+// budgetExceededNow checks the wall-clock budgets without throttling.
+func (s *Solver) budgetExceededNow() bool {
+	if s.ctx != nil && s.ctx.Err() != nil {
+		return true
+	}
+	return !s.deadline.IsZero() && time.Now().After(s.deadline)
 }
 
 // Solve determines satisfiability of the current clause set.
@@ -679,6 +691,9 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 	s.Stats.SolveCalls++
 	if !s.ok {
 		return Unsat
+	}
+	if s.budgetExceededNow() {
+		return Unknown
 	}
 	if s.maxLearnts == 0 {
 		s.maxLearnts = float64(len(s.clauses)) / 3

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -153,6 +154,37 @@ func TestConflictLimitUnknown(t *testing.T) {
 	s.SetConflictLimit(0)
 	if got := s.Solve(); got != Unsat {
 		t.Fatalf("got %v after removing limit, want UNSAT", got)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled: Solve must give up immediately
+	s.SetContext(ctx)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("got %v with cancelled context, want UNKNOWN", got)
+	}
+	s.SetContext(nil)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v after detaching context, want UNSAT", got)
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	s.SetContext(ctx)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("got %v with expired context deadline, want UNKNOWN", got)
+	}
+	// Detaching the context also drops its deadline.
+	s.SetContext(nil)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v after detaching context with expired deadline, want UNSAT", got)
 	}
 }
 

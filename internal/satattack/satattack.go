@@ -12,14 +12,23 @@
 package satattack
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/oracle"
 	"repro/internal/sat"
 )
+
+// Options tunes a SAT attack run.
+type Options struct {
+	// MaxIterations bounds distinguishing inputs queried (<= 0:
+	// unlimited). Wall-clock budgets come from the context.
+	MaxIterations int
+}
 
 // Result reports a SAT attack run.
 type Result struct {
@@ -29,7 +38,8 @@ type Result struct {
 	// Solved is true when the attack converged (no distinguishing input
 	// remains) and extracted a key.
 	Solved bool
-	// TimedOut is true when the deadline expired first.
+	// TimedOut is true when the context or iteration budget expired
+	// first.
 	TimedOut bool
 	// Iterations counts distinguishing inputs queried.
 	Iterations int
@@ -40,8 +50,11 @@ type Result struct {
 }
 
 // Run executes the SAT attack on the locked circuit using the oracle.
-// deadline zero means no limit. MaxIterations <= 0 means unlimited.
-func Run(locked *circuit.Circuit, orc oracle.Oracle, deadline time.Time, maxIterations int) (*Result, error) {
+// Cancelling ctx stops the attack promptly with a TimedOut result.
+func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	res := &Result{}
 	pis := locked.PrimaryInputs()
@@ -49,16 +62,13 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, deadline time.Time, maxIter
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("satattack: circuit has no key inputs")
 	}
-	outIdx, err := outputIndex(locked, orc)
+	outIdx, err := attack.OutputIndex(locked, orc)
 	if err != nil {
 		return nil, err
 	}
 
 	// Miter solver Q.
-	q := sat.New()
-	if !deadline.IsZero() {
-		q.SetDeadline(deadline)
-	}
+	q := attack.NewSolver(ctx)
 	qe := cnf.NewEncoder(q)
 	lits1 := qe.EncodeCircuitWith(locked, nil)
 	shared := make(map[int]sat.Lit, len(pis))
@@ -71,10 +81,7 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, deadline time.Time, maxIter
 	k2 := cnf.InputLits(keys, lits2)
 
 	// Key-extraction solver P accumulates I/O constraints on one key copy.
-	p := sat.New()
-	if !deadline.IsZero() {
-		p.SetDeadline(deadline)
-	}
+	p := attack.NewSolver(ctx)
 	pe := cnf.NewEncoder(p)
 	kp := make([]sat.Lit, len(keys))
 	givenP := make(map[int]sat.Lit, len(keys))
@@ -84,7 +91,7 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, deadline time.Time, maxIter
 	}
 
 	for {
-		if maxIterations > 0 && res.Iterations >= maxIterations {
+		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
 			res.TimedOut = true
 			break
 		}
@@ -109,63 +116,12 @@ func Run(locked *circuit.Circuit, orc oracle.Oracle, deadline time.Time, maxIter
 		res.OracleQueries++
 		// Constrain both key copies in Q and the key in P to reproduce
 		// the oracle response on xd.
-		addIOConstraint(qe, locked, xd, yd, outIdx, keyGiven(keys, k1))
-		addIOConstraint(qe, locked, xd, yd, outIdx, keyGiven(keys, k2))
-		addIOConstraint(pe, locked, xd, yd, outIdx, givenP)
+		attack.AddIOConstraint(qe, locked, xd, yd, outIdx, attack.KeyGiven(keys, k1))
+		attack.AddIOConstraint(qe, locked, xd, yd, outIdx, attack.KeyGiven(keys, k2))
+		attack.AddIOConstraint(pe, locked, xd, yd, outIdx, givenP)
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
-}
-
-func keyGiven(keys []int, lits []sat.Lit) map[int]sat.Lit {
-	m := make(map[int]sat.Lit, len(keys))
-	for i, k := range keys {
-		m[k] = lits[i]
-	}
-	return m
-}
-
-// addIOConstraint encodes a fresh copy of the locked circuit with primary
-// inputs fixed to xd, key inputs tied to the given key literals, and
-// outputs fixed to the oracle response yd.
-func addIOConstraint(e *cnf.Encoder, locked *circuit.Circuit, xd map[string]bool, yd []bool, outIdx []int, keyLits map[int]sat.Lit) {
-	given := make(map[int]sat.Lit, len(xd)+len(keyLits))
-	for k, v := range keyLits {
-		given[k] = v
-	}
-	for _, pi := range locked.PrimaryInputs() {
-		given[pi] = e.ConstLit(xd[locked.Nodes[pi].Name])
-	}
-	lits := e.EncodeCircuitWith(locked, given)
-	for i, o := range locked.Outputs {
-		e.Fix(lits[o], yd[outIdx[i]])
-	}
-}
-
-// outputIndex maps locked-circuit output positions to oracle output
-// positions by name.
-func outputIndex(locked *circuit.Circuit, orc oracle.Oracle) ([]int, error) {
-	names := orc.OutputNames()
-	byName := make(map[string]int, len(names))
-	for i, n := range names {
-		byName[n] = i
-	}
-	idx := make([]int, len(locked.Outputs))
-	for i, o := range locked.Outputs {
-		n := locked.Nodes[o].Name
-		j, ok := byName[n]
-		if !ok {
-			// Outputs may have been renamed by optimization shims
-			// (e.g. "_out" suffix); fall back to positional mapping.
-			if i < len(names) {
-				j = i
-			} else {
-				return nil, fmt.Errorf("satattack: output %q not known to oracle", n)
-			}
-		}
-		idx[i] = j
-	}
-	return idx, nil
 }
 
 func extractKey(locked *circuit.Circuit, p *sat.Solver, kp []sat.Lit, keys []int, res *Result, start time.Time) (*Result, error) {

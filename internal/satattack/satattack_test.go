@@ -1,6 +1,7 @@
 package satattack
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -20,7 +21,9 @@ func TestSATAttackOnRLL(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewSim(orig)
-	res, err := Run(lr.Locked, orc, time.Now().Add(30*time.Second), 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, lr.Locked, orc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +49,9 @@ func TestSATAttackOnSmallTTLock(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewSim(orig)
-	res, err := Run(lr.Locked, orc, time.Now().Add(30*time.Second), 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, lr.Locked, orc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +75,9 @@ func TestSATAttackResilienceOfSFLL(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewSim(orig)
-	res, err := Run(lr.Locked, orc, time.Now().Add(20*time.Second), 64)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := Run(ctx, lr.Locked, orc, Options{MaxIterations: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,24 +91,26 @@ func TestSATAttackResilienceOfSFLL(t *testing.T) {
 
 func TestSATAttackNoKeys(t *testing.T) {
 	orig := testcirc.Fig2a()
-	if _, err := Run(orig, oracle.NewSim(orig), time.Time{}, 0); err == nil {
+	if _, err := Run(context.Background(), orig, oracle.NewSim(orig), Options{}); err == nil {
 		t.Error("circuit without keys accepted")
 	}
 }
 
-func TestSATAttackDeadline(t *testing.T) {
+func TestSATAttackCancelledContext(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	orig := testcirc.Random(rng, 18, 120)
 	lr, err := lock.TTLock(orig, lock.Options{KeySize: 16, Seed: 3, Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(lr.Locked, oracle.NewSim(orig), time.Now().Add(-time.Second), 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled
+	res, err := Run(ctx, lr.Locked, oracle.NewSim(orig), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.TimedOut {
-		t.Error("expired deadline did not stop the attack")
+		t.Error("cancelled context did not stop the attack")
 	}
 }
 
@@ -112,7 +121,9 @@ func TestSATAttackCountsOracleQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewSim(orig)
-	res, err := Run(lr.Locked, orc, time.Now().Add(30*time.Second), 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, lr.Locked, orc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

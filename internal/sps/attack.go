@@ -1,0 +1,54 @@
+package sps
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/attack"
+)
+
+// spsAttack adapts the SPS removal attack to the unified attack API.
+type spsAttack struct {
+	opts Options
+}
+
+// New returns the SPS attack as an attack.Attack. Target.Seed overrides
+// opts.Seed when non-zero.
+func New(opts Options) attack.Attack { return &spsAttack{opts: opts} }
+
+func (s *spsAttack) Name() string      { return "sps" }
+func (s *spsAttack) NeedsOracle() bool { return false }
+
+func (s *spsAttack) Run(ctx context.Context, tgt attack.Target) (*attack.Result, error) {
+	if err := attack.CheckTarget(s, tgt); err != nil {
+		return nil, err
+	}
+	opts := s.opts
+	if tgt.Seed != 0 {
+		opts.Seed = tgt.Seed
+	}
+	start := time.Now()
+	res, err := Attack(ctx, tgt.Locked, opts)
+	out := &attack.Result{Attack: s.Name(), Elapsed: time.Since(start)}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		out.Status = attack.StatusTimeout
+		return out, nil
+	}
+	if errors.Is(err, ErrNoFlipSignal) {
+		// The attack completed without finding a bypass: a negative
+		// result, not a failure.
+		out.Status = attack.StatusInconclusive
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	// SPS recovers the protected function without learning a key.
+	out.Status = attack.StatusRecovered
+	out.Recovered = res.Recovered
+	out.Details = res
+	return out, nil
+}
+
+func init() { attack.Register(New(Options{})) }

@@ -13,12 +13,28 @@
 package sps
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/circuit"
 )
+
+// ErrNoFlipSignal reports that the attack ran to completion without
+// locating a bypassable flip signal — a negative result (the scheme
+// resisted), not a usage error.
+var ErrNoFlipSignal = errors.New("no flip-signal bypass found")
+
+// Options tunes an SPS attack run.
+type Options struct {
+	// Words is the number of 64-pattern simulation words used to estimate
+	// signal probabilities; <= 0 selects the default of 256.
+	Words int
+	// Seed drives the random pattern generation.
+	Seed int64
+}
 
 // Candidate is a scored flip-signal candidate.
 type Candidate struct {
@@ -43,21 +59,29 @@ type Result struct {
 	Candidates []Candidate
 }
 
-// Attack estimates signal probabilities with words*64 random patterns
+// Attack estimates signal probabilities with Words*64 random patterns
 // (inputs and keys random) and bypasses the most-skewed node whose
-// support covers every key input.
-func Attack(locked *circuit.Circuit, words int, seed int64) (*Result, error) {
+// support covers every key input. Cancelling ctx stops the attack
+// promptly with the context's error.
+func Attack(ctx context.Context, locked *circuit.Circuit, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	keys := locked.KeyInputs()
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("sps: circuit has no key inputs")
 	}
+	words := opts.Words
 	if words <= 0 {
 		words = 256
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(opts.Seed))
 	ones := make([]float64, locked.Len())
 	vals := make([]uint64, locked.Len())
 	for w := 0; w < words; w++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		for _, in := range locked.Inputs() {
 			vals[in] = rng.Uint64()
 		}
@@ -96,7 +120,7 @@ func Attack(locked *circuit.Circuit, words int, seed int64) (*Result, error) {
 		cands = append(cands, Candidate{Node: id, Prob: p, Skew: 0.5 - skew})
 	}
 	if len(cands) == 0 {
-		return nil, fmt.Errorf("sps: no node depends on all %d key inputs", len(keys))
+		return nil, fmt.Errorf("sps: %w: no node depends on all %d key inputs", ErrNoFlipSignal, len(keys))
 	}
 	// Most skewed first; prefer smaller node id (earlier in topological
 	// order, i.e. the flip signal itself rather than logic built on it).
@@ -113,6 +137,9 @@ func Attack(locked *circuit.Circuit, words int, seed int64) (*Result, error) {
 	// the flip signal inside the output XOR structure can tie on skew
 	// but fail this check.
 	for _, cand := range cands {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		recovered := bypass(locked, cand)
 		if keyIndependent(recovered, rng, 64) {
 			return &Result{
@@ -123,7 +150,7 @@ func Attack(locked *circuit.Circuit, words int, seed int64) (*Result, error) {
 			}, nil
 		}
 	}
-	return nil, fmt.Errorf("sps: no bypass of %d candidates removed the key dependence", len(cands))
+	return nil, fmt.Errorf("sps: %w: no bypass of %d candidates removed the key dependence", ErrNoFlipSignal, len(cands))
 }
 
 // bypass forces the candidate node to its dominant constant value.

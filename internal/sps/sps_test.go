@@ -1,6 +1,7 @@
 package sps
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestSPSDefeatsAntiSAT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Attack(lr.Locked, 256, 7)
+	res, err := Attack(context.Background(), lr.Locked, Options{Words: 256, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestSPSDoesNotDefeatTTLock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Attack(lr.Locked, 512, 13)
+	res, err := Attack(context.Background(), lr.Locked, Options{Words: 512, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSPSDoesNotDefeatTTLock(t *testing.T) {
 
 func TestSPSErrors(t *testing.T) {
 	orig := testcirc.Fig2a()
-	if _, err := Attack(orig, 16, 1); err == nil {
+	if _, err := Attack(context.Background(), orig, Options{Words: 16, Seed: 1}); err == nil {
 		t.Error("circuit without keys accepted")
 	}
 }
@@ -85,7 +86,7 @@ func TestSPSCandidatesSorted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Attack(lr.Locked, 128, 3)
+	res, err := Attack(context.Background(), lr.Locked, Options{Words: 128, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
