@@ -118,6 +118,79 @@ func BenchmarkSummary(b *testing.B) {
 	}
 }
 
+// --- Serial vs parallel (worker-pool engine) benchmarks ---
+
+// benchSuiteWorkers measures the §VI-B summary suite (the heaviest
+// harness loop: one Auto FALL attack per case) at a fixed harness worker
+// count. On a multi-core runner the 4-worker variant should run at least
+// 2x faster than the serial one; the Summary statistics are identical.
+func benchSuiteWorkers(b *testing.B, workers int) {
+	cfg := benchConfig(3)
+	cfg.Workers = workers
+	cases, err := exp.BuildSuite(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := exp.Summarize(context.Background(), cases, cfg)
+		if s.Defeated == 0 {
+			b.Fatal("nothing defeated")
+		}
+	}
+}
+
+// BenchmarkSuiteWorkers1 runs the summary suite serially.
+func BenchmarkSuiteWorkers1(b *testing.B) { benchSuiteWorkers(b, 1) }
+
+// BenchmarkSuiteWorkers4 runs the summary suite on a 4-worker pool.
+func BenchmarkSuiteWorkers4(b *testing.B) { benchSuiteWorkers(b, 4) }
+
+// benchFALLWorkers measures the FALL candidate×polarity grid at a fixed
+// attack worker count on one mid-size SFLL-HD instance.
+func benchFALLWorkers(b *testing.B, workers int) {
+	lr := ablationCase(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fall.Attack(context.Background(), lr.Locked, fall.Options{
+			H: 4, Analysis: fall.SlidingWindow, Workers: workers,
+		})
+		if err != nil || len(res.Keys) == 0 {
+			b.Fatalf("attack failed: %v (%d keys)", err, len(res.Keys))
+		}
+	}
+}
+
+// BenchmarkFALLGridWorkers1 runs the FALL analysis grid serially.
+func BenchmarkFALLGridWorkers1(b *testing.B) { benchFALLWorkers(b, 1) }
+
+// BenchmarkFALLGridWorkers4 runs the FALL analysis grid on 4 workers.
+func BenchmarkFALLGridWorkers4(b *testing.B) { benchFALLWorkers(b, 4) }
+
+// benchFig5Workers measures a Fig. 5 panel regeneration at a fixed
+// harness worker count.
+func benchFig5Workers(b *testing.B, workers int) {
+	cfg := benchConfig(3)
+	cfg.Workers = workers
+	cases, err := exp.BuildSuite(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs := exp.Fig5Panel(context.Background(), cases, exp.HD0, cfg)
+		if len(outs) == 0 {
+			b.Fatal("no outcomes")
+		}
+	}
+}
+
+// BenchmarkFig5Workers1 regenerates the HD0 panel serially.
+func BenchmarkFig5Workers1(b *testing.B) { benchFig5Workers(b, 1) }
+
+// BenchmarkFig5Workers4 regenerates the HD0 panel on a 4-worker pool.
+func BenchmarkFig5Workers4(b *testing.B) { benchFig5Workers(b, 4) }
+
 // --- Ablation benchmarks (DESIGN.md experiment E9) ---
 
 func ablationCase(b *testing.B, h int) *lock.Result {

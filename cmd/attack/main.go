@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -39,6 +40,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "seed for randomized attack components")
 		timeout    = flag.Duration("timeout", 1000*time.Second, "attack time budget (0 = none)")
 		maxIter    = flag.Int("maxiter", 0, "iteration cap for iterative attacks (0 = unlimited)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for attacks that parallelize internally (1 = serial)")
 	)
 	flag.Parse()
 	if *list {
@@ -64,6 +66,7 @@ func main() {
 		H:             *h,
 		Seed:          *seed,
 		MaxIterations: *maxIter,
+		Workers:       *workers,
 	}
 	if *oraclePath != "" {
 		tgt.Oracle = oracle.NewSim(parse(*oraclePath))

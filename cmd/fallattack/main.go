@@ -5,7 +5,7 @@
 // Usage:
 //
 //	fallattack -in locked.bench -h 4 [-analysis auto|unate|window|dist2h] \
-//	           [-timeout 1000s] [-enc adder|seq]
+//	           [-timeout 1000s] [-enc adder|seq] [-workers N]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -29,6 +30,7 @@ func main() {
 		analysis = flag.String("analysis", "auto", "functional analysis: auto | unate | window | dist2h")
 		timeout  = flag.Duration("timeout", 1000*time.Second, "attack time budget (0 = none)")
 		enc      = flag.String("enc", "adder", "cardinality encoding: adder | seq")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "candidate analyses run concurrently (1 = serial; shortlist is identical either way)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -75,7 +77,7 @@ func main() {
 		defer cancel()
 	}
 
-	out, err := fall.New(opts).Run(ctx, attack.Target{Locked: locked, H: *h})
+	out, err := fall.New(opts).Run(ctx, attack.Target{Locked: locked, H: *h, Workers: *workers})
 	if err != nil {
 		fatalf("attack: %v", err)
 	}

@@ -11,6 +11,8 @@
 //	-scale small   1/8 gate counts, keys capped at 16 (default)
 //	-scale tiny    1/16 gate counts, keys capped at 12, 6 circuits
 //	-timeout 5s    per-attack budget (paper: 1000 s)
+//	-workers N     suite cases run concurrently (default: all cores;
+//	               output is identical for every worker count)
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/cnf"
@@ -37,10 +40,11 @@ func main() {
 		iterCap = flag.Int("satcap", 500, "SAT attack iteration cap (0 = none)")
 		seed    = flag.Int64("seed", 2019, "base seed")
 		enc     = flag.String("enc", "adder", "cardinality encoding: adder | seq")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "suite cases run concurrently (1 = serial; output is identical either way)")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Timeout: *timeout, SATIterCap: *iterCap}
+	cfg := exp.Config{Seed: *seed, Timeout: *timeout, SATIterCap: *iterCap, Workers: *workers}
 	switch *scale {
 	case "paper":
 		cfg.Specs = genbench.TableI

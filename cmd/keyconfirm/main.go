@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -29,6 +30,7 @@ func main() {
 		oraclePath = flag.String("oracle", "", "original circuit in BENCH format (simulated activated IC)")
 		timeout    = flag.Duration("timeout", 1000*time.Second, "time budget (0 = none)")
 		pureAlg4   = flag.Bool("pure", false, "disable the double-DIP acceleration (paper Algorithm 4 verbatim)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "key-space partitions searched concurrently in phi=true mode (1 = serial)")
 	)
 	flag.Parse()
 	if *lockedPath == "" || *oraclePath == "" {
@@ -60,6 +62,7 @@ func main() {
 		Locked:     locked,
 		Oracle:     oracle.NewSim(orig),
 		Candidates: cands,
+		Workers:    *workers,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -54,6 +54,12 @@ type Target struct {
 	// attacks; 0 means unlimited. Wall-clock budgets are expressed via
 	// the context instead.
 	MaxIterations int
+	// Workers bounds intra-attack parallelism for attacks that fan work
+	// out internally (the FALL candidate×polarity grid, partitioned key
+	// confirmation). 0 means runtime.GOMAXPROCS(0); 1 forces serial
+	// execution. Attacks whose algorithm is inherently sequential (the
+	// SAT attack's distinguishing-input loop) ignore it.
+	Workers int
 }
 
 // Status is the machine-readable outcome of an attack run.

@@ -157,6 +157,32 @@ func TestEveryAttackOnTTLock(t *testing.T) {
 	}
 }
 
+// TestKeyconfirmIterationCapInconclusive checks the adapter maps an
+// iteration-capped run to StatusInconclusive, not StatusTimeout: an
+// effort bound is not wall-clock expiry, and harness censoring relies on
+// the distinction.
+func TestKeyconfirmIterationCapInconclusive(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	orig := testcirc.Random(rng, 14, 100)
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: 12, Seed: 3, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := attack.Run(ctx, "keyconfirm", attack.Target{
+		Locked:        lr.Locked,
+		Oracle:        oracle.NewSim(orig),
+		MaxIterations: 1, // φ = true over 2^12 keys cannot converge in 1 DI
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != attack.StatusInconclusive {
+		t.Errorf("status = %v, want inconclusive (iteration cap is not a timeout)", res.Status)
+	}
+}
+
 // TestCancellationReturnsPartialResult cancels each attack mid-run and
 // checks it comes back promptly with a StatusTimeout partial result
 // rather than blocking or erroring.

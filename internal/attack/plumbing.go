@@ -3,12 +3,55 @@ package attack
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/oracle"
 	"repro/internal/sat"
 )
+
+// ForEachIndexed runs fn(0), ..., fn(n-1) on a pool of at most workers
+// goroutines; workers <= 1 degenerates to a plain serial loop. fn writes
+// its result into caller-owned slices at its index, so output order
+// never depends on scheduling. Returning false from fn stops further
+// indices from being dispatched (in-flight calls complete) — the
+// deterministic analogue of breaking a serial loop: indices are
+// dispatched in increasing order, so every skipped index is larger than
+// every dispatched one.
+func ForEachIndexed(workers, n int, fn func(i int) bool) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if !fn(i) {
+				return
+			}
+		}
+		return
+	}
+	var stop atomic.Bool
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if !fn(i) {
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !stop.Load(); i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+}
 
 // This file holds the SAT plumbing shared by every oracle-guided attack
 // (SAT attack, Double DIP, key confirmation) and by the FALL analyses:

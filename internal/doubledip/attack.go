@@ -18,6 +18,8 @@ type ddAttack struct {
 // (MaxExactIterations -1), matching the Target contract that
 // MaxIterations 0 means unlimited; construct an instance with
 // MaxExactIterations 0 to stop after the approximate 2-DIP phase.
+// Target.Workers is ignored: like the SAT attack, both phases learn from
+// every previous distinguishing input and are inherently sequential.
 func New(opts Options) attack.Attack { return &ddAttack{opts: opts} }
 
 func (d *ddAttack) Name() string      { return "doubledip" }

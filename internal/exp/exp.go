@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -86,6 +87,32 @@ type Config struct {
 	// iterations (0 = unlimited); useful at small scale where a single
 	// iteration is fast but convergence needs 2^m of them.
 	SATIterCap int
+	// Workers bounds how many suite cases (locking jobs, attack runs)
+	// execute concurrently; <= 0 means runtime.GOMAXPROCS(0). Output
+	// ordering and all measured verdicts are identical for every worker
+	// count: each case derives its own seed and runs its attacks with
+	// intra-attack parallelism pinned to 1, and results merge in case
+	// order.
+	Workers int
+}
+
+// workers resolves the effective harness pool size.
+func (cfg Config) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndexed distributes fn(0..n-1) over the shared bounded pool
+// (attack.ForEachIndexed); harness loops always run every index, and fn
+// writes its result into caller-owned slices at its index so output
+// order never depends on scheduling.
+func forEachIndexed(workers, n int, fn func(i int)) {
+	attack.ForEachIndexed(workers, n, func(i int) bool {
+		fn(i)
+		return true
+	})
 }
 
 // Case is one locked benchmark instance (circuit × h configuration).
@@ -95,6 +122,11 @@ type Case struct {
 	H     int
 	Orig  *circuit.Circuit
 	Lock  *lock.Result
+	// Seed is the case's derived seed, used by every attack run on this
+	// case (key validation sampling, randomized attack components). It
+	// depends only on the case identity, never on run order, so
+	// concurrent harness runs stay deterministic.
+	Seed int64
 }
 
 // BuildCase generates and locks one benchmark instance.
@@ -113,20 +145,34 @@ func BuildCase(spec genbench.Spec, level HLevel, seed int64) (*Case, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", spec.Name, level.Label(), err)
 	}
-	return &Case{Spec: spec, Level: level, H: h, Orig: orig, Lock: lr}, nil
+	return &Case{Spec: spec, Level: level, H: h, Orig: orig, Lock: lr, Seed: seed + int64(level)*7 + 1}, nil
 }
 
 // BuildSuite locks every spec at every level: the paper's 80 circuits for
-// the 20 Table I specs.
+// the 20 Table I specs. Cases build concurrently on cfg.Workers
+// goroutines (generation and locking are pure functions of the derived
+// per-case seed) and are returned in spec × level order regardless of
+// the worker count.
 func BuildSuite(cfg Config) ([]*Case, error) {
-	var cases []*Case
+	type job struct {
+		spec  genbench.Spec
+		level HLevel
+		seed  int64
+	}
+	var jobs []job
 	for i, spec := range cfg.Specs {
 		for _, level := range Levels {
-			c, err := BuildCase(spec, level, cfg.Seed+int64(i)*1009)
-			if err != nil {
-				return nil, err
-			}
-			cases = append(cases, c)
+			jobs = append(jobs, job{spec, level, cfg.Seed + int64(i)*1009})
+		}
+	}
+	cases := make([]*Case, len(jobs))
+	errs := make([]error, len(jobs))
+	forEachIndexed(cfg.workers(), len(jobs), func(i int) {
+		cases[i], errs[i] = BuildCase(jobs[i].spec, jobs[i].level, jobs[i].seed)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return cases, nil
@@ -141,15 +187,20 @@ type Table1Row struct {
 }
 
 // Table1 regenerates Table I: per circuit, the original gate count and the
-// min/max locked gate counts over the four SFLL configurations.
+// min/max locked gate counts over the four SFLL configurations. Rows are
+// computed concurrently on cfg.Workers goroutines and returned in spec
+// order.
 func Table1(cfg Config) ([]Table1Row, error) {
-	var rows []Table1Row
-	for i, spec := range cfg.Specs {
+	rows := make([]Table1Row, len(cfg.Specs))
+	errs := make([]error, len(cfg.Specs))
+	forEachIndexed(cfg.workers(), len(cfg.Specs), func(i int) {
+		spec := cfg.Specs[i]
 		row := Table1Row{Name: spec.Name, In: spec.Inputs, Out: spec.Outputs, Keys: spec.Keys}
 		for _, level := range Levels {
 			c, err := BuildCase(spec, level, cfg.Seed+int64(i)*1009)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			row.GatesOrig = c.Orig.NumGates()
 			g := c.Lock.Locked.NumGates()
@@ -160,7 +211,12 @@ func Table1(cfg Config) ([]Table1Row, error) {
 				row.GatesMax = g
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return rows, nil
 }
@@ -185,7 +241,12 @@ type Outcome struct {
 	Unique   bool // FALL attacks: exactly one key shortlisted
 	NumKeys  int
 	TimedOut bool
-	Time     time.Duration
+	// Failed reports a hard attack error (malformed target, solver
+	// failure), distinct from TimedOut: failed runs carry no timing, are
+	// never censored at the timeout, and never enter cactus series or
+	// Fig. 6 means.
+	Failed bool
+	Time   time.Duration
 }
 
 // attackCtx derives the per-run context implementing cfg.Timeout.
@@ -197,16 +258,19 @@ func attackCtx(ctx context.Context, cfg Config) (context.Context, context.Cancel
 }
 
 // RunFALL executes one FALL functional analysis on a case through the
-// unified attack API and scores it against the planted key.
+// unified attack API and scores it against the planted key. Intra-attack
+// parallelism is pinned to one worker: the harness parallelizes across
+// cases, and nesting pools would oversubscribe the machine.
 func RunFALL(ctx context.Context, cs *Case, analysis fall.Analysis, cfg Config) Outcome {
 	out := Outcome{Circuit: cs.Spec.Name, Level: cs.Level, Attack: analysis.String()}
 	rctx, cancel := attackCtx(ctx, cfg)
 	defer cancel()
 	atk := fall.New(fall.Options{Analysis: analysis, Enc: cfg.Enc})
-	res, err := atk.Run(rctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H})
+	res, err := atk.Run(rctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H, Seed: cs.Seed, Workers: 1})
 	if err != nil {
 		// Hard failure (timeouts come back as StatusTimeout, not errors):
-		// report the outcome unsolved with no fabricated timing.
+		// report the outcome failed with no fabricated timing.
+		out.Failed = true
 		return out
 	}
 	out.Time = res.Elapsed
@@ -231,16 +295,21 @@ func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 		Locked:        cs.Lock.Locked,
 		Oracle:        oracle.NewSim(cs.Orig),
 		MaxIterations: cfg.SATIterCap,
+		Seed:          cs.Seed,
+		Workers:       1,
 	})
 	if err != nil {
-		out.Time = cfg.Timeout
-		out.TimedOut = true
+		// A hard error is not a timeout: fabricating `TimedOut` with
+		// Time=cfg.Timeout polluted the Fig. 5/6 censoring (and invented
+		// a zero-duration "timeout" when cfg.Timeout was 0). Report the
+		// failure distinctly and leave the timing empty.
+		out.Failed = true
 		return out
 	}
 	out.Time = res.Elapsed
 	out.TimedOut = res.Status == attack.StatusTimeout
 	if res.UniqueKey() {
-		if err := oracle.CheckKey(cs.Lock.Locked, oracle.NewSim(cs.Orig), res.Keys[0], 128, cfg.Seed); err == nil {
+		if err := oracle.CheckKey(cs.Lock.Locked, oracle.NewSim(cs.Orig), res.Keys[0], 128, cs.Seed); err == nil {
 			out.Solved = true
 		}
 	}
@@ -256,24 +325,39 @@ func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 // Fig5Panel runs the attacks of one Fig. 5 panel over the suite cases at
 // the given level: the SAT attack plus AnalyzeUnateness for HD0,
 // SlidingWindow and Distance2H for h=m/8 and m/4, SlidingWindow only for
-// h=m/3 (Distance2H requires 4h <= m).
+// h=m/3 (Distance2H requires 4h <= m). Individual attack runs execute
+// concurrently on cfg.Workers goroutines; the outcome slice keeps the
+// serial case × attack order.
 func Fig5Panel(ctx context.Context, cases []*Case, level HLevel, cfg Config) []Outcome {
-	var outs []Outcome
+	type run struct {
+		cs       *Case
+		sat      bool
+		analysis fall.Analysis
+	}
+	var runs []run
 	for _, cs := range cases {
 		if cs.Level != level {
 			continue
 		}
-		outs = append(outs, RunSAT(ctx, cs, cfg))
+		runs = append(runs, run{cs: cs, sat: true})
 		switch level {
 		case HD0:
-			outs = append(outs, RunFALL(ctx, cs, fall.Unateness, cfg))
+			runs = append(runs, run{cs: cs, analysis: fall.Unateness})
 		case HM3:
-			outs = append(outs, RunFALL(ctx, cs, fall.SlidingWindow, cfg))
+			runs = append(runs, run{cs: cs, analysis: fall.SlidingWindow})
 		default:
-			outs = append(outs, RunFALL(ctx, cs, fall.SlidingWindow, cfg))
-			outs = append(outs, RunFALL(ctx, cs, fall.Distance2H, cfg))
+			runs = append(runs, run{cs: cs, analysis: fall.SlidingWindow})
+			runs = append(runs, run{cs: cs, analysis: fall.Distance2H})
 		}
 	}
+	outs := make([]Outcome, len(runs))
+	forEachIndexed(cfg.workers(), len(runs), func(i int) {
+		if runs[i].sat {
+			outs[i] = RunSAT(ctx, runs[i].cs, cfg)
+		} else {
+			outs[i] = RunFALL(ctx, runs[i].cs, runs[i].analysis, cfg)
+		}
+	})
 	return outs
 }
 
@@ -318,58 +402,85 @@ type Fig6Row struct {
 // circuit, run key confirmation with φ = the FALL shortlist (falling back
 // to {planted key, complement} when the shortlist is empty, mirroring the
 // paper's use of stage-1 results) and the vanilla SAT attack on the same
-// instances; report per-circuit means.
+// instances; report per-circuit means. Cases run concurrently on
+// cfg.Workers goroutines; rows aggregate in first-appearance circuit
+// order, so the output layout never depends on scheduling.
 func Fig6(ctx context.Context, cases []*Case, cfg Config) []Fig6Row {
-	byCircuit := map[string][]*Case{}
-	var order []string
-	for _, cs := range cases {
-		if _, ok := byCircuit[cs.Spec.Name]; !ok {
-			order = append(order, cs.Spec.Name)
-		}
-		byCircuit[cs.Spec.Name] = append(byCircuit[cs.Spec.Name], cs)
-	}
 	fallAtk := fall.New(fall.Options{Enc: cfg.Enc})
-	var rows []Fig6Row
-	for _, name := range order {
-		row := Fig6Row{Circuit: name}
-		var kcTimes, saTimes []time.Duration
-		for _, cs := range byCircuit[name] {
-			// Candidate keys from the FALL stage.
-			var cands []attack.Key
-			fctx, fcancel := attackCtx(ctx, cfg)
-			if res, err := fallAtk.Run(fctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H}); err == nil {
-				cands = res.Keys
-			}
-			fcancel()
-			if len(cands) == 0 {
-				comp := map[string]bool{}
-				for k, v := range cs.Lock.Key {
-					comp[k] = !v
-				}
-				cands = []attack.Key{cs.Lock.Key, comp}
-			}
-			kctx, kcancel := attackCtx(ctx, cfg)
-			kc, err := attack.Run(kctx, "keyconfirm", attack.Target{
-				Locked:        cs.Lock.Locked,
-				Oracle:        oracle.NewSim(cs.Orig),
-				Candidates:    cands,
-				MaxIterations: cfg.SATIterCap,
-			})
-			kcancel()
-			if err == nil {
-				kcTimes = append(kcTimes, kc.Elapsed)
-				if kc.Status == attack.StatusUniqueKey {
-					row.KCConfirmed++
-				}
-			}
-			sa := RunSAT(ctx, cs, cfg)
-			saTimes = append(saTimes, sa.Time)
+	type caseResult struct {
+		kcElapsed   time.Duration
+		kcRan       bool
+		kcConfirmed bool
+		sa          Outcome
+	}
+	results := make([]caseResult, len(cases))
+	forEachIndexed(cfg.workers(), len(cases), func(i int) {
+		cs := cases[i]
+		var r caseResult
+		// Candidate keys from the FALL stage.
+		var cands []attack.Key
+		fctx, fcancel := attackCtx(ctx, cfg)
+		if res, err := fallAtk.Run(fctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H, Seed: cs.Seed, Workers: 1}); err == nil {
+			cands = res.Keys
 		}
-		row.KCRuns = len(kcTimes)
-		row.SARuns = len(saTimes)
-		row.KCMean, row.KCStd = meanStd(kcTimes)
-		row.SAMean, row.SAStd = meanStd(saTimes)
-		rows = append(rows, row)
+		fcancel()
+		if len(cands) == 0 {
+			comp := map[string]bool{}
+			for k, v := range cs.Lock.Key {
+				comp[k] = !v
+			}
+			cands = []attack.Key{cs.Lock.Key, comp}
+		}
+		kctx, kcancel := attackCtx(ctx, cfg)
+		kc, err := attack.Run(kctx, "keyconfirm", attack.Target{
+			Locked:        cs.Lock.Locked,
+			Oracle:        oracle.NewSim(cs.Orig),
+			Candidates:    cands,
+			MaxIterations: cfg.SATIterCap,
+			Seed:          cs.Seed,
+			Workers:       1,
+		})
+		kcancel()
+		if err == nil {
+			r.kcRan = true
+			r.kcElapsed = kc.Elapsed
+			r.kcConfirmed = kc.Status == attack.StatusUniqueKey
+		}
+		r.sa = RunSAT(ctx, cs, cfg)
+		results[i] = r
+	})
+
+	byCircuit := map[string]*Fig6Row{}
+	var order []string
+	kcTimes := map[string][]time.Duration{}
+	saTimes := map[string][]time.Duration{}
+	for i, cs := range cases {
+		name := cs.Spec.Name
+		row, ok := byCircuit[name]
+		if !ok {
+			row = &Fig6Row{Circuit: name}
+			byCircuit[name] = row
+			order = append(order, name)
+		}
+		r := &results[i]
+		if r.kcRan {
+			kcTimes[name] = append(kcTimes[name], r.kcElapsed)
+			if r.kcConfirmed {
+				row.KCConfirmed++
+			}
+		}
+		if !r.sa.Failed {
+			saTimes[name] = append(saTimes[name], r.sa.Time)
+		}
+	}
+	rows := make([]Fig6Row, 0, len(order))
+	for _, name := range order {
+		row := byCircuit[name]
+		row.KCRuns = len(kcTimes[name])
+		row.SARuns = len(saTimes[name])
+		row.KCMean, row.KCStd = meanStd(kcTimes[name])
+		row.SAMean, row.SAStd = meanStd(saTimes[name])
+		rows = append(rows, *row)
 	}
 	return rows
 }
@@ -423,11 +534,16 @@ type Summary struct {
 }
 
 // Summarize runs the combined (Auto) FALL attack over every case and
-// aggregates the defeat statistics of §VI-B.
+// aggregates the defeat statistics of §VI-B. Cases run concurrently on
+// cfg.Workers goroutines; the statistics (including MultiKey order)
+// aggregate in case order and are identical for every worker count.
 func Summarize(ctx context.Context, cases []*Case, cfg Config) Summary {
 	s := Summary{TotalCases: len(cases)}
-	for _, cs := range cases {
-		out := RunFALL(ctx, cs, fall.Auto, cfg)
+	outs := make([]Outcome, len(cases))
+	forEachIndexed(cfg.workers(), len(cases), func(i int) {
+		outs[i] = RunFALL(ctx, cases[i], fall.Auto, cfg)
+	})
+	for _, out := range outs {
 		if !out.Solved {
 			continue
 		}

@@ -2,6 +2,8 @@ package exp
 
 import (
 	"context"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -199,6 +201,70 @@ func TestSummarize(t *testing.T) {
 	text := FormatSummary(s)
 	if !strings.Contains(text, "defeated") {
 		t.Error("summary format wrong")
+	}
+}
+
+// outcomeShape is an Outcome with timing stripped: everything that must
+// be identical across harness worker counts.
+type outcomeShape struct {
+	Circuit string
+	Level   HLevel
+	Attack  string
+	Solved  bool
+	Unique  bool
+	NumKeys int
+	Failed  bool
+}
+
+func shapes(outs []Outcome) []outcomeShape {
+	s := make([]outcomeShape, len(outs))
+	for i, o := range outs {
+		s[i] = outcomeShape{o.Circuit, o.Level, o.Attack, o.Solved, o.Unique, o.NumKeys, o.Failed}
+	}
+	return s
+}
+
+// The harness must produce byte-identical suites, outcome orderings and
+// summary statistics for every worker count (only timings may differ).
+func TestHarnessDeterministicAcrossWorkers(t *testing.T) {
+	base := tinyConfig()
+	base.Specs = base.Specs[:2]
+	// No wall-clock budget: timeouts truncate shortlists at a
+	// machine-speed-dependent point, which is exactly the kind of
+	// nondeterminism this test must not conflate with scheduling. The
+	// SAT attack stays bounded by SATIterCap.
+	base.Timeout = 0
+	var wantCases []string
+	var wantPanel []outcomeShape
+	var wantSummary *Summary
+	for _, workers := range []int{1, 3} {
+		cfg := base
+		cfg.Workers = workers
+		cases, err := BuildSuite(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		ids := make([]string, len(cases))
+		for i, cs := range cases {
+			ids[i] = fmt.Sprintf("%s/%s/h=%d/seed=%d/gates=%d",
+				cs.Spec.Name, cs.Level.Label(), cs.H, cs.Seed, cs.Lock.Locked.NumGates())
+		}
+		panel := shapes(Fig5Panel(context.Background(), cases, HD0, cfg))
+		summary := Summarize(context.Background(), cases, cfg)
+		if wantCases == nil {
+			wantCases, wantPanel, wantSummary = ids, panel, &summary
+			continue
+		}
+		if !reflect.DeepEqual(ids, wantCases) {
+			t.Errorf("workers=%d: suite differs\n got %v\nwant %v", workers, ids, wantCases)
+		}
+		if !reflect.DeepEqual(panel, wantPanel) {
+			t.Errorf("workers=%d: Fig5 panel differs\n got %v\nwant %v", workers, panel, wantPanel)
+		}
+		if summary.Defeated != wantSummary.Defeated || summary.UniqueKey != wantSummary.UniqueKey ||
+			!reflect.DeepEqual(summary.MultiKey, wantSummary.MultiKey) {
+			t.Errorf("workers=%d: summary differs\n got %+v\nwant %+v", workers, summary, *wantSummary)
+		}
 	}
 }
 

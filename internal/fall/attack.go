@@ -26,6 +26,9 @@ func (f *fallAttack) Run(ctx context.Context, tgt attack.Target) (*attack.Result
 	}
 	opts := f.opts
 	opts.H = tgt.H
+	if tgt.Workers != 0 {
+		opts.Workers = tgt.Workers
+	}
 	start := time.Now()
 	res, err := Attack(ctx, tgt.Locked, opts)
 	out := &attack.Result{

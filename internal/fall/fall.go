@@ -24,7 +24,9 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/attack"
@@ -86,6 +88,11 @@ type Options struct {
 	// rejecting a true stripper has negligible probability (see
 	// densityFilter).
 	DisableDensityFilter bool
+	// Workers bounds how many candidate×polarity analyses run
+	// concurrently; <= 0 means runtime.GOMAXPROCS(0). Each worker owns
+	// its solvers, and results merge in candidate order, so the
+	// shortlist is identical for every worker count.
+	Workers int
 }
 
 // Comparator records one identified comparator gate: node computes
@@ -111,22 +118,26 @@ type CandidateKey struct {
 	Analysis string
 }
 
-// Signature returns a canonical string for deduplication.
+// Signature returns a canonical string for deduplication. It encodes
+// key-input names alongside their values: two candidates over different
+// key-input subsets (e.g. partial pairings) must not collide even when
+// their sorted bit values agree.
 func (k *CandidateKey) Signature() string {
 	names := make([]string, 0, len(k.Key))
 	for n := range k.Key {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	sig := make([]byte, 0, len(names))
+	var sb strings.Builder
 	for _, n := range names {
+		sb.WriteString(n)
 		if k.Key[n] {
-			sig = append(sig, '1')
+			sb.WriteString("=1;")
 		} else {
-			sig = append(sig, '0')
+			sb.WriteString("=0;")
 		}
 	}
-	return string(sig)
+	return sb.String()
 }
 
 // Result reports the outcome of the FALL structural/functional stages.
@@ -656,6 +667,8 @@ func (a *analysisContext) EquivalenceCheck(cube map[int]bool, h int) (bool, erro
 // Attack runs the full FALL pipeline on a locked netlist and returns the
 // shortlisted keys. The locked circuit's key inputs must be marked (IsKey)
 // and h must match the locking parameter (known to the adversary, §II-A).
+// The candidate×polarity analysis grid runs on a worker pool sized by
+// Options.Workers; the shortlist is byte-identical for every worker count.
 // Cancelling ctx (or letting its deadline pass) stops the attack promptly;
 // the partial Result accumulated so far is returned alongside ErrTimeout.
 func Attack(ctx context.Context, locked *circuit.Circuit, opts Options) (*Result, error) {
@@ -694,44 +707,101 @@ func Attack(ctx context.Context, locked *circuit.Circuit, opts Options) (*Result
 		res.Total = time.Since(start)
 	}()
 
-	sigs := map[string]bool{}
+	jobs := make([]analysisJob, 0, 2*len(res.Candidates))
 	for _, cand := range res.Candidates {
 		for _, neg := range []bool{false, true} {
-			if ctx.Err() != nil {
-				return res, ErrTimeout
-			}
-			actx, err := newAnalysisContext(ctx, locked, cand, neg, &opts)
-			if err != nil {
-				continue
-			}
-			if !actx.densityFilter(opts.H) {
-				continue
-			}
-			cube, ok, algo, err := runAnalysis(actx, m, opts)
-			if err != nil {
-				return res, err
-			}
-			if !ok {
-				continue
-			}
-			okEq, err := actx.EquivalenceCheck(cube, opts.H)
-			if err != nil {
-				return res, err
-			}
-			if !okEq {
-				continue
-			}
-			ck := cubeToKey(locked, cube, pairing)
-			ck.Node = cand
-			ck.Negated = neg
-			ck.Analysis = algo
-			if sig := ck.Signature(); !sigs[sig] {
-				sigs[sig] = true
-				res.Keys = append(res.Keys, ck)
-			}
+			jobs = append(jobs, analysisJob{cand: cand, neg: neg})
+		}
+	}
+	outcomes := runAnalysisGrid(ctx, locked, jobs, m, &opts, pairing)
+
+	// Merge in job (candidate-id × polarity) order: the shortlist and the
+	// first error reported are identical for every worker count.
+	sigs := map[string]bool{}
+	for i := range outcomes {
+		oc := &outcomes[i]
+		if oc.err != nil {
+			return res, oc.err
+		}
+		if !oc.ok {
+			continue
+		}
+		if sig := oc.key.Signature(); !sigs[sig] {
+			sigs[sig] = true
+			res.Keys = append(res.Keys, oc.key)
 		}
 	}
 	return res, nil
+}
+
+// analysisJob is one cell of the candidate×polarity analysis grid.
+type analysisJob struct {
+	cand int
+	neg  bool
+}
+
+// analysisOutcome is the verdict of one grid cell: a shortlisted key
+// (ok), a silent rejection (!ok), or an error (timeout or hard failure).
+type analysisOutcome struct {
+	key CandidateKey
+	ok  bool
+	err error
+}
+
+// runAnalysisGrid evaluates every grid cell on a bounded worker pool and
+// returns the outcomes indexed like jobs. Cells are independent and
+// deterministic (every solver and RNG is local to the cell), so the
+// outcome slice does not depend on the worker count. An erroring cell
+// (hard failure or ctx cancellation) stops further cells from being
+// dispatched, so the grid fails fast and drains promptly; every cell
+// preceding the first error still completes, keeping the partial
+// shortlist identical to a serial run's.
+func runAnalysisGrid(ctx context.Context, locked *circuit.Circuit, jobs []analysisJob, m int, opts *Options, pairing map[int]pairEntry) []analysisOutcome {
+	outcomes := make([]analysisOutcome, len(jobs))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	attack.ForEachIndexed(workers, len(jobs), func(i int) bool {
+		outcomes[i] = analyzeCell(ctx, locked, jobs[i], m, opts, pairing)
+		return outcomes[i].err == nil
+	})
+	return outcomes
+}
+
+// analyzeCell runs the density filter, the selected functional analysis
+// and the equivalence check for one candidate×polarity cell. All solver
+// state is created here, per cell, so cells never share solvers.
+func analyzeCell(ctx context.Context, locked *circuit.Circuit, job analysisJob, m int, opts *Options, pairing map[int]pairEntry) analysisOutcome {
+	if ctx.Err() != nil {
+		return analysisOutcome{err: ErrTimeout}
+	}
+	actx, err := newAnalysisContext(ctx, locked, job.cand, job.neg, opts)
+	if err != nil {
+		return analysisOutcome{} // key-dependent candidate: not a stripper
+	}
+	if !actx.densityFilter(opts.H) {
+		return analysisOutcome{}
+	}
+	cube, ok, algo, err := runAnalysis(actx, m, *opts)
+	if err != nil {
+		return analysisOutcome{err: err}
+	}
+	if !ok {
+		return analysisOutcome{}
+	}
+	okEq, err := actx.EquivalenceCheck(cube, opts.H)
+	if err != nil {
+		return analysisOutcome{err: err}
+	}
+	if !okEq {
+		return analysisOutcome{}
+	}
+	ck := cubeToKey(locked, cube, pairing)
+	ck.Node = job.cand
+	ck.Negated = job.neg
+	ck.Analysis = algo
+	return analysisOutcome{key: ck, ok: true}
 }
 
 func runAnalysis(ctx *analysisContext, m int, opts Options) (map[int]bool, bool, string, error) {

@@ -3,8 +3,11 @@ package fall
 import (
 	"context"
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/aig"
 	"repro/internal/circuit"
@@ -502,6 +505,97 @@ func TestQuickAttackRecoversPlantedKeys(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Regression: signatures encode key-input names, not just sorted bit
+// values. Candidates over different key-input subsets (partial pairings)
+// used to collide — {keyinput0: 1} and {keyinput1: 1} both signed as "1"
+// and one was silently dropped from the shortlist.
+func TestSignatureDistinguishesKeyNames(t *testing.T) {
+	a := &CandidateKey{Key: map[string]bool{"keyinput0": true}}
+	b := &CandidateKey{Key: map[string]bool{"keyinput1": true}}
+	if a.Signature() == b.Signature() {
+		t.Errorf("keys over different key-input subsets share signature %q", a.Signature())
+	}
+	// Same assignment must still dedup.
+	c := &CandidateKey{Key: map[string]bool{"keyinput0": true}}
+	if a.Signature() != c.Signature() {
+		t.Errorf("identical keys got distinct signatures %q vs %q", a.Signature(), c.Signature())
+	}
+	// Values still matter.
+	d := &CandidateKey{Key: map[string]bool{"keyinput0": false}}
+	if a.Signature() == d.Signature() {
+		t.Error("complementary assignments share a signature")
+	}
+}
+
+// The FALL shortlist must be byte-identical for every worker count: the
+// grid merges in candidate order, and every cell is deterministic.
+func TestAttackDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	orig := testcirc.Random(rng, 12, 120)
+	lr, err := lock.SFLLHD(orig, lock.Options{KeySize: 12, H: 2, Seed: 29, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want *Result
+	for _, workers := range []int{1, 4} {
+		res, err := Attack(context.Background(), lr.Locked, Options{H: 2, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = res
+			if len(res.Keys) == 0 {
+				t.Fatal("no keys shortlisted; determinism check is vacuous")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res.Keys, want.Keys) {
+			t.Errorf("workers=%d: shortlist differs\n got %+v\nwant %+v", workers, res.Keys, want.Keys)
+		}
+		if !reflect.DeepEqual(res.Candidates, want.Candidates) || !reflect.DeepEqual(res.CompX, want.CompX) {
+			t.Errorf("workers=%d: structural stages differ", workers)
+		}
+	}
+}
+
+// Cancelling the context must stop a multi-worker attack promptly, and
+// the pool's goroutines must all drain (no leaks).
+func TestAttackCancellationDrainsPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	orig := testcirc.Random(rng, 14, 150)
+	lr, err := lock.SFLLHD(orig, lock.Options{KeySize: 12, H: 3, Seed: 5, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = Attack(ctx, lr.Locked, Options{H: 3, Workers: 4})
+	elapsed := time.Since(start)
+	if err != ErrTimeout {
+		// The attack may legitimately finish within 10ms on a fast
+		// machine; only a wrong error is a failure.
+		if err != nil {
+			t.Fatalf("cancelled attack returned %v, want ErrTimeout or nil", err)
+		}
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("cancelled attack took %v to drain", elapsed)
+	}
+	// The pool goroutines must exit once Attack returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines leaked: %d before, %d after drain window", before, got)
 	}
 }
 

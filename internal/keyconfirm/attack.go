@@ -2,8 +2,10 @@ package keyconfirm
 
 import (
 	"context"
+	"runtime"
 
 	"repro/internal/attack"
+	"repro/internal/oracle"
 )
 
 // kcAttack adapts key confirmation to the unified attack API.
@@ -14,6 +16,12 @@ type kcAttack struct {
 // New returns key confirmation as an attack.Attack. Target.Candidates is
 // the φ shortlist (empty means φ = true, i.e. the full SAT attack) and
 // Target.MaxIterations caps distinguishing-input queries when non-zero.
+// With φ = true, no iteration cap, an oracle implementing oracle.Forker
+// and an effective Target.Workers above one, the run is partitioned
+// across the key space per the paper's §VI-D sketch (ConfirmParallel);
+// with an explicit shortlist the region constraints would conflict with
+// φ, and with a cap the per-region budgets would overshoot the Target
+// contract, so those runs stay single-threaded.
 func New(opts Options) attack.Attack { return &kcAttack{opts: opts} }
 
 func (k *kcAttack) Name() string      { return "keyconfirm" }
@@ -27,21 +35,50 @@ func (k *kcAttack) Run(ctx context.Context, tgt attack.Target) (*attack.Result, 
 	if tgt.MaxIterations != 0 {
 		opts.MaxIterations = tgt.MaxIterations
 	}
-	res, err := Confirm(ctx, tgt.Locked, tgt.Candidates, tgt.Oracle, opts)
-	if err != nil {
-		return nil, err
+	workers := tgt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	out := &attack.Result{
-		Attack:        k.Name(),
-		Iterations:    res.Iterations,
-		OracleQueries: res.OracleQueries,
-		Elapsed:       res.Elapsed,
-		Details:       res,
+	out := &attack.Result{Attack: k.Name()}
+	var res *Result
+	// Partitioned mode would apply MaxIterations per region, letting the
+	// total exceed the Target cap by the region count — capped runs stay
+	// single-threaded to honor the contract.
+	if f, ok := tgt.Oracle.(oracle.Forker); ok && workers > 1 && len(tgt.Candidates) == 0 && opts.MaxIterations <= 0 {
+		bits := 0
+		for 1<<uint(bits) < workers && bits < 16 {
+			bits++
+		}
+		if nk := len(tgt.Locked.KeyInputs()); bits > nk {
+			bits = nk
+		}
+		pres, err := ConfirmParallel(ctx, tgt.Locked, bits, f.Fork, opts)
+		if err != nil {
+			return nil, err
+		}
+		res = &pres.Result
+		out.Iterations = pres.TotalIterations
+		out.OracleQueries = pres.TotalOracleQueries
+		out.Details = pres
+	} else {
+		var err error
+		res, err = Confirm(ctx, tgt.Locked, tgt.Candidates, tgt.Oracle, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Iterations = res.Iterations
+		out.OracleQueries = res.OracleQueries
+		out.Details = res
 	}
+	out.Elapsed = res.Elapsed
 	switch {
 	case res.Confirmed:
 		out.Status = attack.StatusUniqueKey
 		out.Keys = []attack.Key{res.Key}
+	case res.IterCapped:
+		// An iteration cap is a search-effort bound, not wall-clock
+		// expiry: the run completed its budget without a verdict.
+		out.Status = attack.StatusInconclusive
 	case res.TimedOut:
 		out.Status = attack.StatusTimeout
 	default:

@@ -43,8 +43,14 @@ type Result struct {
 	// Confirmed is true if some candidate satisfying φ is consistent
 	// with the oracle; false means ⊥ (the guess was wrong).
 	Confirmed bool
-	// TimedOut reports deadline expiry (result undetermined).
+	// TimedOut reports wall-clock expiry or cancellation of the run
+	// context (result undetermined).
 	TimedOut bool
+	// IterCapped reports that Options.MaxIterations stopped the run
+	// before a verdict. It is distinct from TimedOut: hitting an
+	// iteration cap says nothing about wall-clock budgets, and harnesses
+	// must not censor capped runs as timeouts.
+	IterCapped bool
 	// Iterations counts distinguishing-input queries.
 	Iterations int
 	// OracleQueries counts oracle calls.
@@ -134,7 +140,7 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 
 	for {
 		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
-			res.TimedOut = true
+			res.IterCapped = true
 			break
 		}
 		// Line 6-9: candidate key from P.

@@ -186,6 +186,28 @@ func TestConfirmCancelledContext(t *testing.T) {
 	}
 }
 
+func TestConfirmIterationCapReportsCappedNotTimeout(t *testing.T) {
+	// An iteration cap is an effort bound, not wall-clock expiry: the
+	// result must report IterCapped and leave TimedOut false, so
+	// harnesses do not censor capped runs as timeouts.
+	orig, lr := lockTT(t, 14, 100, 12, 51)
+	orc := oracle.NewSim(orig)
+	// φ = true over 2^12 keys with a 1-iteration budget cannot converge.
+	res, err := Confirm(testCtx(t, 30*time.Second), lr.Locked, nil, orc, Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confirmed {
+		t.Fatalf("confirmed within 1 iteration on 2^12 key space: %+v", res)
+	}
+	if !res.IterCapped {
+		t.Error("IterCapped not set after hitting MaxIterations")
+	}
+	if res.TimedOut {
+		t.Error("iteration cap misreported as TimedOut")
+	}
+}
+
 func TestConfirmNoKeysErrors(t *testing.T) {
 	orig := testcirc.Fig2a()
 	if _, err := Confirm(context.Background(), orig, nil, oracle.NewSim(orig), Options{}); err == nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/oracle"
@@ -79,6 +80,8 @@ func ConfirmParallel(ctx context.Context, locked *circuit.Circuit, bits int, ora
 
 	out := &ParallelResult{Regions: regions}
 	anyTimeout := false
+	anyCapped := false
+	var maxElapsed time.Duration
 	for _, oc := range outcomes {
 		if oc.err != nil {
 			return nil, oc.err
@@ -91,14 +94,23 @@ func ConfirmParallel(ctx context.Context, locked *circuit.Circuit, bits int, ora
 		if oc.res.TimedOut {
 			anyTimeout = true
 		}
-		if oc.res.Elapsed > out.Elapsed {
-			out.Elapsed = oc.res.Elapsed // wall-clock = slowest region
+		if oc.res.IterCapped {
+			anyCapped = true
+		}
+		if oc.res.Elapsed > maxElapsed {
+			maxElapsed = oc.res.Elapsed
 		}
 	}
+	// Assign after the winning region's Result copy, which would
+	// otherwise clobber the running maximum with its own (possibly
+	// shorter) region time.
+	out.Elapsed = maxElapsed // wall-clock = slowest region
 	if !out.Confirmed {
 		// ⊥ only if every region genuinely exhausted its space; a
-		// timed-out (or cancelled) region leaves the verdict open.
+		// timed-out (or cancelled, or iteration-capped) region leaves
+		// the verdict open.
 		out.TimedOut = anyTimeout
+		out.IterCapped = anyCapped
 	}
 	return out, nil
 }

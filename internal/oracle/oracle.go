@@ -25,6 +25,14 @@ type Oracle interface {
 	NumQueries() int
 }
 
+// Forker is implemented by oracles that can hand out independent
+// handles for concurrent use. Oracles count queries and are therefore
+// not safe to share across goroutines; a parallel attack calls Fork
+// once per worker and aggregates the per-fork query counts itself.
+type Forker interface {
+	Fork() Oracle
+}
+
 // SimOracle is an Oracle backed by simulation of the original circuit.
 type SimOracle struct {
 	c       *circuit.Circuit
@@ -69,6 +77,10 @@ func (o *SimOracle) InputNames() []string {
 
 // NumQueries reports how many times Query has been called.
 func (o *SimOracle) NumQueries() int { return o.queries }
+
+// Fork returns an independent oracle over the same (read-only) circuit
+// with its own query counter, implementing Forker.
+func (o *SimOracle) Fork() Oracle { return NewSim(o.c) }
 
 // CheckKey verifies by random simulation that the locked circuit under
 // the given key agrees with the oracle on n random input patterns; it

@@ -712,10 +712,15 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 		budget := luby(restart) * 100
 		status = s.search(budget, assumptions)
 		s.Stats.Restarts++
-		if status == Unknown && s.budgetExceeded() {
-			break
-		}
+		// Restart boundaries are rare relative to in-search polls, so
+		// check the wall-clock budgets unthrottled here: the throttled
+		// budgetExceeded() would miss a cancellation 255/256 times and
+		// let the solver run a whole extra restart, making pool workers
+		// drain nondeterministically late.
 		if status == Unknown {
+			if (s.conflictLimit > 0 && s.Stats.Conflicts >= s.conflictLimit) || s.budgetExceededNow() {
+				break
+			}
 			s.maxLearnts *= s.learntGrowth
 		}
 	}

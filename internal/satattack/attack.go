@@ -10,7 +10,10 @@ import (
 type satAttack struct{}
 
 // New returns the SAT attack as an attack.Attack. Target.MaxIterations
-// caps distinguishing-input iterations.
+// caps distinguishing-input iterations. Target.Workers is ignored: each
+// distinguishing input depends on all previously learned constraints, so
+// the loop is inherently sequential (the parallel realization is the
+// partitioned key confirmation of keyconfirm.ConfirmParallel).
 func New() attack.Attack { return satAttack{} }
 
 func (satAttack) Name() string      { return "sat" }

@@ -14,7 +14,8 @@ type spsAttack struct {
 }
 
 // New returns the SPS attack as an attack.Attack. Target.Seed overrides
-// opts.Seed when non-zero.
+// opts.Seed when non-zero. Target.Workers is ignored: one simulation
+// sweep dominates the runtime and is already bit-parallel.
 func New(opts Options) attack.Attack { return &spsAttack{opts: opts} }
 
 func (s *spsAttack) Name() string      { return "sps" }
