@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 1000*time.Second, "attack time budget (0 = none)")
 		maxIter    = flag.Int("maxiter", 0, "iteration cap for iterative attacks (0 = unlimited)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for attacks that parallelize internally (1 = serial)")
+		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON document on stdout (recovered netlists print as BENCH on stderr)")
 	)
 	flag.Parse()
 	if *list {
@@ -89,27 +91,45 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("attack: %s\nstatus: %s\niterations: %d\noracle queries: %d\nelapsed: %v\n",
-		res.Attack, res.Status, res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
-	for i, key := range res.Keys {
-		fmt.Printf("key %d:\n", i+1)
-		names := make([]string, 0, len(key))
-		for n := range key {
-			names = append(names, n)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.JSON()); err != nil {
+			fatalf("encode result: %v", err)
 		}
-		sort.Strings(names)
-		for _, n := range names {
-			v := 0
-			if key[n] {
-				v = 1
+	} else {
+		fmt.Printf("attack: %s\nstatus: %s\niterations: %d\noracle queries: %d\nelapsed: %v\n",
+			res.Attack, res.Status, res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
+		for i, key := range res.Keys {
+			fmt.Printf("key %d:\n", i+1)
+			names := make([]string, 0, len(key))
+			for n := range key {
+				names = append(names, n)
 			}
-			fmt.Printf("  %s=%d\n", n, v)
+			sort.Strings(names)
+			for _, n := range names {
+				v := 0
+				if key[n] {
+					v = 1
+				}
+				fmt.Printf("  %s=%d\n", n, v)
+			}
 		}
 	}
 	if res.Recovered != nil {
-		fmt.Printf("recovered netlist (%d gates) follows:\n", res.Recovered.NumGates())
-		fmt.Print(bench.WriteString(res.Recovered))
+		if *jsonOut {
+			// Keep stdout a single parseable JSON document (the result
+			// above carries recovered_gates); the netlist goes to stderr
+			// for capture via 2>.
+			fmt.Fprint(os.Stderr, bench.WriteString(res.Recovered))
+		} else {
+			fmt.Printf("recovered netlist (%d gates) follows:\n", res.Recovered.NumGates())
+			fmt.Print(bench.WriteString(res.Recovered))
+		}
 	}
+	// Exit codes mirror the verdict so scripts and CI can branch on the
+	// result without parsing output: 2 = budget expired, 3 = the attack
+	// completed but established nothing.
 	switch res.Status {
 	case attack.StatusTimeout:
 		os.Exit(2)

@@ -1,0 +1,231 @@
+// Command campaign plans, executes and merges sharded experiment runs:
+// the distributed front end to the exp harness. A campaign directory
+// holds one plan.json plus an artifacts/ directory with one JSON file
+// per completed case.
+//
+//	campaign plan   -dir camp -scale small -suites table1,summary
+//	campaign run    -dir camp -shard-index 0 -shard-count 4   # per machine
+//	campaign status -dir camp
+//	campaign merge  -dir camp                                 # render reports
+//
+// Shards partition the plan's cases disjointly and exhaustively for any
+// shard count, each shard writes artifacts atomically, and re-running a
+// shard (after a crash or kill) skips every case whose artifact already
+// exists. merge renders output byte-identical to a monolithic
+// cmd/fallbench run over the same measurements.
+//
+// Exit codes: 0 success; 1 hard error (stderr explains); 2 completed
+// with failed cases; 3 (status/merge -allow-partial) campaign
+// incomplete.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/genbench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(1)
+	}
+	args := os.Args[2:]
+	switch os.Args[1] {
+	case "plan":
+		cmdPlan(args)
+	case "run":
+		cmdRun(args)
+	case "merge":
+		cmdMerge(args)
+	case "status":
+		cmdStatus(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|merge|status> [flags]
+
+  plan    enumerate a campaign's cases into DIR/plan.json
+  run     execute one shard, writing one artifact per completed case
+  merge   reassemble artifacts into the Table I / Fig. 5 / Fig. 6 /
+          summary reports (byte-identical to a monolithic run)
+  status  show per-suite completion counts
+
+run 'campaign <subcommand> -h' for flags.
+`)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// dirFlags returns the common -dir/-artifacts flag pair on fs.
+func dirFlags(fs *flag.FlagSet) (dir, artifacts *string) {
+	dir = fs.String("dir", "", "campaign directory (holds plan.json)")
+	artifacts = fs.String("artifacts", "", "artifact directories, comma-separated (default DIR/artifacts)")
+	return
+}
+
+func artifactDirs(dir, artifacts string) []string {
+	if artifacts == "" {
+		return []string{filepath.Join(dir, campaign.DefaultArtifactDir)}
+	}
+	return strings.Split(artifacts, ",")
+}
+
+func loadPlan(dir string) *campaign.Plan {
+	if dir == "" {
+		fatalf("need -dir DIR")
+	}
+	p, err := campaign.ReadPlan(filepath.Join(dir, campaign.PlanFileName))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return p
+}
+
+func cmdPlan(args []string) {
+	fs := flag.NewFlagSet("campaign plan", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign directory to create the plan in")
+	scale := fs.String("scale", "small", "experiment scale: paper | medium | small | tiny")
+	seed := fs.Int64("seed", 2019, "base seed")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-attack time budget")
+	iterCap := fs.Int("satcap", 500, "SAT attack iteration cap (0 = none)")
+	enc := fs.String("enc", "adder", "cardinality encoding: adder | seq")
+	suites := fs.String("suites", strings.Join(campaign.DefaultSuites(), ","), "report suites, comma-separated")
+	force := fs.Bool("force", false, "overwrite an existing, different plan")
+	fs.Parse(args)
+	if *dir == "" {
+		fatalf("need -dir DIR")
+	}
+
+	cfg := campaign.Config{
+		Seed:       *seed,
+		Timeout:    *timeout,
+		SATIterCap: *iterCap,
+		Enc:        *enc,
+		Suites:     strings.Split(*suites, ","),
+	}
+	var err error
+	if cfg.Specs, err = genbench.ParseScale(*scale); err != nil {
+		fatalf("%v", err)
+	}
+	p, err := campaign.NewPlan(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	path := filepath.Join(*dir, campaign.PlanFileName)
+	if _, statErr := os.Stat(path); statErr == nil {
+		// Never clobber an existing plan without -force: its artifacts
+		// may still be in flight, and a corrupt or foreign plan file is
+		// more reason for a human look, not less.
+		old, readErr := campaign.ReadPlan(path)
+		switch {
+		case readErr == nil && old.Hash == p.Hash:
+			fmt.Fprintf(os.Stderr, "campaign: plan unchanged (%d cases, hash %.12s…)\n", len(p.Cases), p.Hash)
+			return
+		case *force:
+		case readErr != nil:
+			fatalf("%s exists but is unreadable (%v); pass -force to replace it", path, readErr)
+		default:
+			fatalf("%s exists with a different plan (hash %.12s…, new %.12s…); pass -force to replace it", path, old.Hash, p.Hash)
+		}
+	}
+	if err := campaign.WritePlan(path, p); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "campaign: planned %d cases into %s (hash %.12s…)\n", len(p.Cases), path, p.Hash)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
+	dir, artifacts := dirFlags(fs)
+	shardIndex := fs.Int("shard-index", 0, "this shard's index in [0, shard-count)")
+	shardCount := fs.Int("shard-count", 1, "total number of shards")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "cases run concurrently (1 = serial)")
+	quiet := fs.Bool("quiet", false, "suppress per-case progress lines")
+	fs.Parse(args)
+	p := loadPlan(*dir)
+	dirs := artifactDirs(*dir, *artifacts)
+	if len(dirs) != 1 {
+		fatalf("run writes to exactly one artifact directory, got %d", len(dirs))
+	}
+	opts := campaign.RunOptions{
+		ShardIndex: *shardIndex,
+		ShardCount: *shardCount,
+		Workers:    *workers,
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	report, err := campaign.Run(context.Background(), p, dirs[0], opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "campaign: shard %d/%d: %d cases, %d resumed, %d run, %d failed\n",
+		*shardIndex, *shardCount, report.ShardCases, report.Skipped, report.Ran, report.Failed)
+	if report.Failed > 0 {
+		os.Exit(2)
+	}
+}
+
+func cmdMerge(args []string) {
+	fs := flag.NewFlagSet("campaign merge", flag.ExitOnError)
+	dir, artifacts := dirFlags(fs)
+	allowPartial := fs.Bool("allow-partial", false, "render even if some cases have no artifact yet")
+	fs.Parse(args)
+	p := loadPlan(*dir)
+	m, err := campaign.Merge(p, artifactDirs(*dir, *artifacts))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !m.Complete() && !*allowPartial {
+		fatalf("campaign incomplete: %d/%d cases have no artifact (first: %s); finish the shards or pass -allow-partial",
+			len(m.Missing), len(p.Cases), m.Missing[0])
+	}
+	if err := m.Render(os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+	switch {
+	case len(m.Failed) > 0:
+		fmt.Fprintf(os.Stderr, "campaign: %d case(s) failed (first: %s)\n", len(m.Failed), m.Failed[0])
+		os.Exit(2)
+	case !m.Complete():
+		fmt.Fprintf(os.Stderr, "campaign: partial merge: %d case(s) missing\n", len(m.Missing))
+		os.Exit(3)
+	}
+}
+
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("campaign status", flag.ExitOnError)
+	dir, artifacts := dirFlags(fs)
+	fs.Parse(args)
+	p := loadPlan(*dir)
+	s, err := campaign.Status(p, artifactDirs(*dir, *artifacts))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	s.Render(os.Stdout)
+	switch {
+	case s.Failed > 0:
+		os.Exit(2)
+	case !s.Complete():
+		os.Exit(3)
+	}
+}

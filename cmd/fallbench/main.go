@@ -13,6 +13,12 @@
 //	-timeout 5s    per-attack budget (paper: 1000 s)
 //	-workers N     suite cases run concurrently (default: all cores;
 //	               output is identical for every worker count)
+//
+// Results go to stdout, diagnostics to stderr. The exit code is 0 on
+// success, 1 on a hard error, and 2 when some attack runs failed (their
+// rows are still printed). To split a run across machines, use
+// cmd/campaign with the same flags — a merged campaign renders
+// byte-identical output to this command.
 package main
 
 import (
@@ -25,7 +31,6 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/exp"
-	"repro/internal/fall"
 	"repro/internal/genbench"
 )
 
@@ -45,32 +50,35 @@ func main() {
 	flag.Parse()
 
 	cfg := exp.Config{Seed: *seed, Timeout: *timeout, SATIterCap: *iterCap, Workers: *workers}
-	switch *scale {
-	case "paper":
-		cfg.Specs = genbench.TableI
-	case "medium":
-		cfg.Specs = genbench.Scaled(genbench.TableI, 4, 24)
-	case "small":
-		cfg.Specs = genbench.Scaled(genbench.TableI, 8, 16)
-	case "tiny":
-		cfg.Specs = genbench.Scaled(genbench.TableI, 16, 12)[:6]
-	default:
-		fatalf("unknown scale %q", *scale)
+	var err error
+	if cfg.Specs, err = genbench.ParseScale(*scale); err != nil {
+		fatalf("%v", err)
 	}
-	switch *enc {
-	case "adder":
-		cfg.Enc = cnf.AdderTree
-	case "seq":
-		cfg.Enc = cnf.SeqCounter
-	default:
-		fatalf("unknown encoding %q", *enc)
+	if cfg.Enc, err = cnf.ParseCardEncoding(*enc); err != nil {
+		fatalf("%v", err)
 	}
 
+	var level exp.HLevel
+	if *fig5 != "" {
+		if level, err = exp.ParseHLevel(*fig5); err != nil {
+			fatalf("unknown fig5 panel %q", *fig5)
+		}
+	}
+	if !*table1 && *fig5 == "" && !*fig6 && !*summary {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	// Build the locked suite once; every requested report shares it.
 	ctx := context.Background()
-	ran := false
+	cases, err := exp.BuildSuite(cfg)
+	if err != nil {
+		fatalf("suite: %v", err)
+	}
+
+	failed := 0
 	if *table1 {
-		ran = true
-		rows, err := exp.Table1(cfg)
+		rows, err := exp.Table1FromCases(cases, cfg)
 		if err != nil {
 			fatalf("table1: %v", err)
 		}
@@ -78,54 +86,34 @@ func main() {
 		fmt.Print(exp.FormatTable1(rows))
 	}
 	if *fig5 != "" {
-		ran = true
-		var level exp.HLevel
-		var attacks []string
-		switch *fig5 {
-		case "hd0":
-			level = exp.HD0
-			attacks = []string{"SAT-Attack", fall.Unateness.String()}
-		case "h8":
-			level = exp.HM8
-			attacks = []string{"SAT-Attack", fall.SlidingWindow.String(), fall.Distance2H.String()}
-		case "h4":
-			level = exp.HM4
-			attacks = []string{"SAT-Attack", fall.SlidingWindow.String(), fall.Distance2H.String()}
-		case "h3":
-			level = exp.HM3
-			attacks = []string{"SAT-Attack", fall.SlidingWindow.String()}
-		default:
-			fatalf("unknown fig5 panel %q", *fig5)
-		}
-		cases, err := exp.BuildSuite(cfg)
-		if err != nil {
-			fatalf("suite: %v", err)
-		}
 		fmt.Printf("=== Fig. 5 panel %s (%s) ===\n", *fig5, level.Label())
 		outs := exp.Fig5Panel(ctx, cases, level, cfg)
-		fmt.Print(exp.FormatCactus(outs, attacks))
+		for _, o := range outs {
+			if o.Failed {
+				failed++
+			}
+		}
+		fmt.Print(exp.FormatCactus(outs, exp.Fig5AttackNames(level)))
 	}
 	if *fig6 {
-		ran = true
-		cases, err := exp.BuildSuite(cfg)
-		if err != nil {
-			fatalf("suite: %v", err)
-		}
 		fmt.Println("=== Fig. 6: key confirmation vs SAT attack ===")
-		fmt.Print(exp.FormatFig6(exp.Fig6(ctx, cases, cfg)))
+		results := exp.Fig6Results(ctx, cases, cfg)
+		for _, r := range results {
+			if r.Failed() {
+				failed++
+			}
+		}
+		fmt.Print(exp.FormatFig6(exp.AggregateFig6(results)))
 	}
 	if *summary {
-		ran = true
-		cases, err := exp.BuildSuite(cfg)
-		if err != nil {
-			fatalf("suite: %v", err)
-		}
 		fmt.Println("=== §VI-B summary ===")
-		fmt.Print(exp.FormatSummary(exp.Summarize(ctx, cases, cfg)))
+		s := exp.Summarize(ctx, cases, cfg)
+		failed += s.Failed
+		fmt.Print(exp.FormatSummary(s))
 	}
-	if !ran {
-		flag.Usage()
-		os.Exit(1)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fallbench: %d attack run(s) failed\n", failed)
+		os.Exit(2)
 	}
 }
 

@@ -1,0 +1,102 @@
+package attack_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/lock"
+	"repro/internal/testcirc"
+)
+
+func TestKeyEquivalent(t *testing.T) {
+	orig := testcirc.Fig2a()
+	lr, err := lock.TTLock(orig, lock.Options{KeySize: 4, Seed: 7, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	eq, err := attack.KeyEquivalent(ctx, lr.Locked, orig, lr.Key)
+	if err != nil {
+		t.Fatalf("planted key: %v", err)
+	}
+	if !eq {
+		t.Error("planted key reported not equivalent")
+	}
+
+	// Flipping one key bit of a TTLock instance corrupts the protected
+	// cube: the miter must find a distinguishing input.
+	wrong := map[string]bool{}
+	for k, v := range lr.Key {
+		wrong[k] = v
+	}
+	for k := range wrong {
+		wrong[k] = !wrong[k]
+		break
+	}
+	eq, err = attack.KeyEquivalent(ctx, lr.Locked, orig, wrong)
+	if err != nil {
+		t.Fatalf("wrong key: %v", err)
+	}
+	if eq {
+		t.Error("wrong key reported equivalent")
+	}
+
+	// Missing key bits are an error, not a verdict.
+	if _, err := attack.KeyEquivalent(ctx, lr.Locked, orig, attack.Key{}); err == nil {
+		t.Error("empty key accepted")
+	}
+
+	// A cancelled context yields an error, never a silent verdict.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := attack.KeyEquivalent(cctx, lr.Locked, orig, lr.Key); err == nil {
+		t.Error("cancelled context produced a verdict")
+	}
+}
+
+func TestStatusTextRoundTrip(t *testing.T) {
+	for _, s := range []attack.Status{
+		attack.StatusInconclusive, attack.StatusUniqueKey, attack.StatusShortlist,
+		attack.StatusRecovered, attack.StatusRefuted, attack.StatusTimeout,
+	} {
+		got, err := attack.ParseStatus(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStatus(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := attack.ParseStatus("solvedish"); err == nil {
+		t.Error("ParseStatus accepted junk")
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := &attack.Result{
+		Attack:        "fall",
+		Status:        attack.StatusShortlist,
+		Keys:          []attack.Key{{"keyinput0": true, "keyinput1": false}},
+		Iterations:    3,
+		OracleQueries: 2,
+		Elapsed:       1500 * time.Millisecond,
+	}
+	data, err := json.Marshal(res.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back attack.ResultJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Status != attack.StatusShortlist {
+		t.Errorf("status round-tripped to %v", back.Status)
+	}
+	if back.ElapsedNS != res.Elapsed {
+		t.Errorf("elapsed round-tripped to %v", back.ElapsedNS)
+	}
+	if len(back.Keys) != 1 || !back.Keys[0]["keyinput0"] || back.Keys[0]["keyinput1"] {
+		t.Errorf("keys round-tripped to %v", back.Keys)
+	}
+}

@@ -1,0 +1,178 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// MergeResult is the reassembly of a campaign's artifacts against its
+// plan: every planned case resolved to its artifact, with the
+// unresolved and failed IDs called out.
+type MergeResult struct {
+	Plan      *Plan
+	Artifacts map[string]*Artifact
+	// Missing lists planned case IDs with no artifact, in plan order.
+	Missing []string
+	// Failed lists case IDs whose artifact records a failure, in plan
+	// order.
+	Failed []string
+}
+
+// Merge reads every artifact under dirs and lines them up with the
+// plan. Artifacts from other plans or for unknown cases are errors; an
+// incomplete campaign is not (the caller decides whether Missing is
+// acceptable — see Complete).
+func Merge(plan *Plan, dirs []string) (*MergeResult, error) {
+	arts, err := ReadArtifacts(plan, dirs)
+	if err != nil {
+		return nil, err
+	}
+	m := &MergeResult{Plan: plan, Artifacts: arts}
+	for _, pc := range plan.Cases {
+		a, ok := arts[pc.ID]
+		if !ok {
+			m.Missing = append(m.Missing, pc.ID)
+			continue
+		}
+		if a.Failed() {
+			m.Failed = append(m.Failed, pc.ID)
+		}
+	}
+	return m, nil
+}
+
+// Complete reports whether every planned case has an artifact.
+func (m *MergeResult) Complete() bool { return len(m.Missing) == 0 }
+
+// Render writes the plan's report suites in order, reassembled from the
+// artifacts, using the exact formatting of the monolithic
+// exp/fallbench output — a merge over any sharding is byte-identical to
+// a 1-shard run with the same measurements. Cases without artifacts are
+// skipped (their runs simply do not appear), so partial campaigns still
+// render.
+func (m *MergeResult) Render(w io.Writer) error {
+	expCfg, err := m.Plan.Config.ExpConfig()
+	if err != nil {
+		return err
+	}
+	for _, suite := range m.Plan.Config.Suites {
+		units, err := exp.SuiteUnits(expCfg, suite)
+		if err != nil {
+			return err
+		}
+		switch {
+		case suite == "table1":
+			var rows []exp.Table1Row
+			for _, u := range units {
+				if a := m.Artifacts[u.ID()]; a != nil && a.Table1 != nil {
+					rows = append(rows, *a.Table1)
+				}
+			}
+			fmt.Fprintln(w, "=== Table I (regenerated) ===")
+			fmt.Fprint(w, exp.FormatTable1(rows))
+		case strings.HasPrefix(suite, "fig5:"):
+			level, err := exp.ParseHLevel(strings.TrimPrefix(suite, "fig5:"))
+			if err != nil {
+				return err
+			}
+			var outs []exp.Outcome
+			for _, u := range units {
+				if a := m.Artifacts[u.ID()]; a != nil && a.Outcome != nil {
+					outs = append(outs, *a.Outcome)
+				}
+			}
+			fmt.Fprintf(w, "=== Fig. 5 panel %s (%s) ===\n", level.Token(), level.Label())
+			fmt.Fprint(w, exp.FormatCactus(outs, exp.Fig5AttackNames(level)))
+		case suite == "fig6":
+			var results []exp.Fig6CaseResult
+			for _, u := range units {
+				if a := m.Artifacts[u.ID()]; a != nil && a.Fig6 != nil {
+					results = append(results, *a.Fig6)
+				}
+			}
+			fmt.Fprintln(w, "=== Fig. 6: key confirmation vs SAT attack ===")
+			fmt.Fprint(w, exp.FormatFig6(exp.AggregateFig6(results)))
+		case suite == "summary":
+			var outs []exp.Outcome
+			for _, u := range units {
+				if a := m.Artifacts[u.ID()]; a != nil && a.Outcome != nil {
+					outs = append(outs, *a.Outcome)
+				}
+			}
+			fmt.Fprintln(w, "=== §VI-B summary ===")
+			fmt.Fprint(w, exp.FormatSummary(exp.AggregateSummary(outs)))
+		default:
+			return fmt.Errorf("campaign: unknown suite %q in plan", suite)
+		}
+	}
+	return nil
+}
+
+// SuiteStatus is the progress of one report suite.
+type SuiteStatus struct {
+	Suite  string
+	Total  int
+	Done   int
+	Failed int
+}
+
+// StatusReport is the progress of a whole campaign.
+type StatusReport struct {
+	Total, Done, Failed int
+	Suites              []SuiteStatus
+	// MissingSample lists up to 10 unfinished case IDs in plan order.
+	MissingSample []string
+}
+
+// Complete reports whether every planned case has an artifact.
+func (s *StatusReport) Complete() bool { return s.Done == s.Total }
+
+// Status summarizes how much of the plan the artifacts in dirs cover.
+func Status(plan *Plan, dirs []string) (*StatusReport, error) {
+	arts, err := ReadArtifacts(plan, dirs)
+	if err != nil {
+		return nil, err
+	}
+	s := &StatusReport{Total: len(plan.Cases)}
+	bySuite := map[string]int{}
+	for _, pc := range plan.Cases {
+		suite := pc.Suite()
+		idx, ok := bySuite[suite]
+		if !ok {
+			idx = len(s.Suites)
+			s.Suites = append(s.Suites, SuiteStatus{Suite: suite})
+			bySuite[suite] = idx
+		}
+		ss := &s.Suites[idx]
+		ss.Total++
+		a, done := arts[pc.ID]
+		if !done {
+			if len(s.MissingSample) < 10 {
+				s.MissingSample = append(s.MissingSample, pc.ID)
+			}
+			continue
+		}
+		s.Done++
+		ss.Done++
+		if a.Failed() {
+			s.Failed++
+			ss.Failed++
+		}
+	}
+	return s, nil
+}
+
+// Render writes the status as a small table.
+func (s *StatusReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %6s %6s %6s\n", "suite", "done", "total", "failed")
+	for _, ss := range s.Suites {
+		fmt.Fprintf(w, "%-10s %6d %6d %6d\n", ss.Suite, ss.Done, ss.Total, ss.Failed)
+	}
+	fmt.Fprintf(w, "%-10s %6d %6d %6d\n", "all", s.Done, s.Total, s.Failed)
+	for _, id := range s.MissingSample {
+		fmt.Fprintf(w, "  pending: %s\n", id)
+	}
+}

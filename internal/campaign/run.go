@@ -1,0 +1,195 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/exp"
+)
+
+// RunOptions tunes a shard execution.
+type RunOptions struct {
+	// ShardIndex / ShardCount select the shard; zero values mean the
+	// whole plan (1 shard).
+	ShardIndex int
+	ShardCount int
+	// Workers bounds harness concurrency; <= 0 means all cores.
+	Workers int
+	// Log, when non-nil, receives one progress line per case.
+	Log io.Writer
+
+	// afterArtifact is a test seam invoked after each artifact lands on
+	// disk (used to kill a shard deterministically mid-flight).
+	afterArtifact func(caseID string)
+}
+
+// RunReport summarizes a shard execution.
+type RunReport struct {
+	// ShardCases counts the plan cases belonging to the shard.
+	ShardCases int
+	// Skipped counts cases whose artifact already existed (resume).
+	Skipped int
+	// Ran counts cases executed and persisted by this run.
+	Ran int
+	// Failed counts shard cases whose artifact (pre-existing or fresh)
+	// records a failure.
+	Failed int
+}
+
+// Run executes one shard of the plan, writing one artifact per
+// completed case into artifactDir. Re-running is idempotent: cases
+// whose artifact already exists are validated against the plan hash and
+// skipped, so a killed shard resumes from what it persisted (atomic
+// artifact writes guarantee everything on disk is complete). A
+// cancelled context stops attack work promptly — pending units
+// short-circuit before any solver setup, in-flight ones drain through
+// their own context checks — and neither kind persists an artifact;
+// Run returns the context error alongside the partial report.
+func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (*RunReport, error) {
+	if opts.ShardCount == 0 {
+		opts.ShardCount = 1
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	idxs, err := plan.ShardIndices(opts.ShardIndex, opts.ShardCount)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(artifactDir, 0o755); err != nil {
+		return nil, err
+	}
+	expCfg, err := plan.Config.ExpConfig()
+	if err != nil {
+		return nil, err
+	}
+	expCfg.Workers = opts.Workers
+
+	report := &RunReport{ShardCases: len(idxs)}
+	var todo []int
+	for _, i := range idxs {
+		path := ArtifactPath(artifactDir, plan.Cases[i].ID)
+		a, err := ReadArtifact(path)
+		switch {
+		case err == nil:
+			if a.PlanHash != plan.Hash {
+				return nil, fmt.Errorf("campaign: existing artifact %s belongs to plan %.12s…, this plan is %.12s… (stale artifact directory?)", path, a.PlanHash, plan.Hash)
+			}
+			if a.CaseID != plan.Cases[i].ID {
+				return nil, fmt.Errorf("campaign: artifact %s names case %s, want %s", path, a.CaseID, plan.Cases[i].ID)
+			}
+			report.Skipped++
+			if a.Failed() {
+				report.Failed++
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			todo = append(todo, i)
+		default:
+			return nil, fmt.Errorf("campaign: unreadable artifact %s: %w (delete it to recompute the case)", path, err)
+		}
+	}
+	if len(todo) == 0 {
+		return report, ctx.Err()
+	}
+
+	units := make([]exp.Unit, len(todo))
+	type caseNeed struct {
+		specIdx int
+		level   exp.HLevel
+	}
+	need := map[caseNeed]bool{}
+	for j, i := range todo {
+		u, err := plan.Cases[i].Unit()
+		if err != nil {
+			return nil, err
+		}
+		units[j] = u
+		if u.Kind == exp.UnitTable1 {
+			for _, level := range exp.Levels {
+				need[caseNeed{plan.Cases[i].SpecIdx, level}] = true
+			}
+		} else {
+			need[caseNeed{plan.Cases[i].SpecIdx, u.Level}] = true
+		}
+	}
+
+	// Build only the locked instances this shard actually attacks, in a
+	// deterministic order, concurrently (generation and locking are pure
+	// functions of the derived per-case seed).
+	needList := make([]caseNeed, 0, len(need))
+	for n := range need {
+		needList = append(needList, n)
+	}
+	sort.Slice(needList, func(a, b int) bool {
+		if needList[a].specIdx != needList[b].specIdx {
+			return needList[a].specIdx < needList[b].specIdx
+		}
+		return needList[a].level < needList[b].level
+	})
+	cases := make([]*exp.Case, len(needList))
+	buildErrs := make([]error, len(needList))
+	attack.ForEachIndexed(opts.Workers, len(needList), func(i int) bool {
+		n := needList[i]
+		spec := plan.Config.Specs[n.specIdx]
+		cases[i], buildErrs[i] = exp.BuildCase(spec, n.level, plan.Config.Seed+int64(n.specIdx)*1009)
+		return true
+	})
+	for _, err := range buildErrs {
+		if err != nil {
+			return nil, fmt.Errorf("campaign: build suite: %w", err)
+		}
+	}
+
+	var mu sync.Mutex
+	var writeErr error
+	onDone := func(j int, r exp.UnitResult) {
+		// A cancelled context means in-flight attacks were cut short:
+		// their truncated verdicts must not be persisted as completed
+		// cases (a resume will recompute them). Cancellation is
+		// monotone, so any unit that observed it is caught here.
+		if ctx.Err() != nil {
+			return
+		}
+		pc := plan.Cases[todo[j]]
+		a := newArtifact(plan.Hash, pc, r)
+		if err := WriteArtifact(artifactDir, a); err != nil {
+			mu.Lock()
+			if writeErr == nil {
+				writeErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		mu.Lock()
+		report.Ran++
+		if a.Failed() {
+			report.Failed++
+		}
+		mu.Unlock()
+		if opts.Log != nil {
+			status := "ok"
+			if a.Failed() {
+				status = "FAILED"
+			}
+			fmt.Fprintf(opts.Log, "campaign: %s %s\n", pc.ID, status)
+		}
+		if opts.afterArtifact != nil {
+			opts.afterArtifact(pc.ID)
+		}
+	}
+	if _, err := exp.RunUnits(ctx, cases, units, expCfg, onDone); err != nil {
+		return report, err
+	}
+	if writeErr != nil {
+		return report, writeErr
+	}
+	return report, ctx.Err()
+}

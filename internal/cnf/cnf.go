@@ -36,6 +36,19 @@ func (e CardEncoding) String() string {
 	return "seq-counter"
 }
 
+// ParseCardEncoding parses a cardinality-encoding name as accepted by
+// the CLIs and campaign plans: "adder"/"adder-tree" or
+// "seq"/"seq-counter". The empty string selects AdderTree (the default).
+func ParseCardEncoding(s string) (CardEncoding, error) {
+	switch s {
+	case "", "adder", "adder-tree":
+		return AdderTree, nil
+	case "seq", "seq-counter":
+		return SeqCounter, nil
+	}
+	return AdderTree, fmt.Errorf("cnf: unknown cardinality encoding %q (want adder or seq)", s)
+}
+
 // Encoder owns a SAT solver and allocates auxiliary variables for Tseitin
 // encodings built on top of it.
 type Encoder struct {

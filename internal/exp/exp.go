@@ -72,6 +72,50 @@ func (l HLevel) Value(m int) int {
 	}
 }
 
+// Token returns the short stable name for the configuration, used in
+// CLI flags, case IDs and serialized plans: hd0, h8, h4, h3.
+func (l HLevel) Token() string {
+	switch l {
+	case HD0:
+		return "hd0"
+	case HM8:
+		return "h8"
+	case HM4:
+		return "h4"
+	default:
+		return "h3"
+	}
+}
+
+// ParseHLevel inverts Token.
+func ParseHLevel(tok string) (HLevel, error) {
+	switch tok {
+	case "hd0":
+		return HD0, nil
+	case "h8":
+		return HM8, nil
+	case "h4":
+		return HM4, nil
+	case "h3":
+		return HM3, nil
+	}
+	return HD0, fmt.Errorf("exp: unknown h level %q (want hd0, h8, h4 or h3)", tok)
+}
+
+// MarshalText serializes the level as its Token, keeping artifacts
+// readable and independent of the enum's numeric values.
+func (l HLevel) MarshalText() ([]byte, error) { return []byte(l.Token()), nil }
+
+// UnmarshalText parses a Token produced by MarshalText.
+func (l *HLevel) UnmarshalText(b []byte) error {
+	v, err := ParseHLevel(string(b))
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
+}
+
 // Config parameterizes an experiment run.
 type Config struct {
 	// Specs selects the benchmark circuits (typically genbench.TableI or
@@ -178,45 +222,48 @@ func BuildSuite(cfg Config) ([]*Case, error) {
 	return cases, nil
 }
 
-// Table1Row is one row of the regenerated Table I.
+// Table1Row is one row of the regenerated Table I. It serializes to
+// JSON as a campaign artifact.
 type Table1Row struct {
-	Name               string
-	In, Out, Keys      int
-	GatesOrig          int
-	GatesMin, GatesMax int // over the four SFLL configurations
+	Name      string `json:"name"`
+	In        int    `json:"in"`
+	Out       int    `json:"out"`
+	Keys      int    `json:"keys"`
+	GatesOrig int    `json:"gates_orig"`
+	// GatesMin/GatesMax range over the four SFLL configurations.
+	GatesMin int `json:"gates_min"`
+	GatesMax int `json:"gates_max"`
 }
 
 // Table1 regenerates Table I: per circuit, the original gate count and the
-// min/max locked gate counts over the four SFLL configurations. Rows are
-// computed concurrently on cfg.Workers goroutines and returned in spec
-// order.
+// min/max locked gate counts over the four SFLL configurations. The suite
+// builds concurrently on cfg.Workers goroutines and rows return in spec
+// order; it is the 1-shard special case of a campaign table1 suite.
 func Table1(cfg Config) ([]Table1Row, error) {
-	rows := make([]Table1Row, len(cfg.Specs))
-	errs := make([]error, len(cfg.Specs))
-	forEachIndexed(cfg.workers(), len(cfg.Specs), func(i int) {
-		spec := cfg.Specs[i]
-		row := Table1Row{Name: spec.Name, In: spec.Inputs, Out: spec.Outputs, Keys: spec.Keys}
-		for _, level := range Levels {
-			c, err := BuildCase(spec, level, cfg.Seed+int64(i)*1009)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			row.GatesOrig = c.Orig.NumGates()
-			g := c.Lock.Locked.NumGates()
-			if row.GatesMin == 0 || g < row.GatesMin {
-				row.GatesMin = g
-			}
-			if g > row.GatesMax {
-				row.GatesMax = g
-			}
+	cases, err := BuildSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Table1FromCases(cases, cfg)
+}
+
+// Table1FromCases aggregates Table I rows from an already-built suite
+// (every spec must appear at every level).
+func Table1FromCases(cases []*Case, cfg Config) ([]Table1Row, error) {
+	units := make([]Unit, len(cfg.Specs))
+	for i, spec := range cfg.Specs {
+		units[i] = Unit{Kind: UnitTable1, Circuit: spec.Name}
+	}
+	results, err := RunUnits(context.Background(), cases, units, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
 		}
-		rows[i] = row
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+		rows[i] = *r.Table1
 	}
 	return rows, nil
 }
@@ -232,21 +279,68 @@ func FormatTable1(rows []Table1Row) string {
 	return b.String()
 }
 
-// Outcome is one attack run on one locked instance.
+// Outcome is one attack run on one locked instance. It serializes to
+// JSON (campaign artifacts) with the level as its token and durations in
+// nanoseconds.
 type Outcome struct {
-	Circuit  string
-	Level    HLevel
-	Attack   string
-	Solved   bool // correct key recovered (in shortlist / converged)
-	Unique   bool // FALL attacks: exactly one key shortlisted
-	NumKeys  int
-	TimedOut bool
+	Circuit string `json:"circuit"`
+	Level   HLevel `json:"level"`
+	Attack  string `json:"attack"`
+	// Solved reports a correct key recovered: some shortlisted key is
+	// I/O-equivalent to the original circuit (== Equivalent).
+	Solved bool `json:"solved"`
+	// PlantedKeyMatch is the legacy criterion — the planted key appears
+	// verbatim in the shortlist. Kept alongside Equivalent because the
+	// two can genuinely disagree (Hu et al. 2024): a distinct key may
+	// still unlock the circuit.
+	PlantedKeyMatch bool `json:"planted_key_match"`
+	// Equivalent reports that some shortlisted key was proved
+	// I/O-equivalent to the oracle circuit by a SAT miter
+	// (attack.KeyEquivalent).
+	Equivalent bool `json:"equivalent"`
+	Unique     bool `json:"unique"` // FALL attacks: exactly one key shortlisted
+	NumKeys    int  `json:"num_keys"`
+	// Keys carries the recovered shortlist so artifacts can be
+	// re-scored after the fact without re-running the attack.
+	Keys     []attack.Key `json:"keys,omitempty"`
+	TimedOut bool         `json:"timed_out"`
 	// Failed reports a hard attack error (malformed target, solver
 	// failure), distinct from TimedOut: failed runs carry no timing, are
 	// never censored at the timeout, and never enter cactus series or
 	// Fig. 6 means.
-	Failed bool
-	Time   time.Duration
+	Failed bool          `json:"failed"`
+	Time   time.Duration `json:"time_ns"`
+}
+
+// scoreShortlist scores a recovered shortlist against the case:
+// PlantedKeyMatch by planted-key membership, Equivalent by SAT-miter
+// I/O-equivalence. The planted key is correct by construction, so the
+// miter only runs on shortlists that miss it. Solved follows Equivalent.
+// The miter is exact and deterministic, but UNSAT proofs are co-NP, so
+// with cfg.Timeout set the miters share one scoring budget of the same
+// size — a pathological miter must not hang a harness worker (or a
+// campaign shard) forever. An undecided miter counts as not equivalent;
+// with Timeout == 0 scoring is unbounded and verdicts stay pure
+// functions of the seed (what the determinism tests rely on).
+func scoreShortlist(ctx context.Context, cs *Case, keys []attack.Key, cfg Config, out *Outcome) {
+	for _, key := range keys {
+		if attack.KeysEqual(key, cs.Lock.Key) {
+			out.PlantedKeyMatch = true
+			out.Equivalent = true
+			break
+		}
+	}
+	if !out.Equivalent && len(keys) > 0 {
+		sctx, cancel := attackCtx(ctx, cfg)
+		defer cancel()
+		for _, key := range keys {
+			if eq, err := attack.KeyEquivalent(sctx, cs.Lock.Locked, cs.Orig, key); err == nil && eq {
+				out.Equivalent = true
+				break
+			}
+		}
+	}
+	out.Solved = out.Equivalent
 }
 
 // attackCtx derives the per-run context implementing cfg.Timeout.
@@ -276,11 +370,12 @@ func RunFALL(ctx context.Context, cs *Case, analysis fall.Analysis, cfg Config) 
 	out.Time = res.Elapsed
 	out.TimedOut = res.Status == attack.StatusTimeout
 	out.NumKeys = len(res.Keys)
-	for _, key := range res.Keys {
-		if attack.KeysEqual(key, cs.Lock.Key) {
-			out.Solved = true
-		}
-	}
+	out.Keys = res.Keys
+	// Score on the outer context, not the attack's own (possibly
+	// near-exhausted) deadline: scoring is harness work with its own
+	// budget, and verdicts must not depend on how close the attack ran
+	// to its deadline.
+	scoreShortlist(ctx, cs, res.Keys, cfg, &out)
 	out.Unique = out.Solved && res.UniqueKey()
 	return out
 }
@@ -308,10 +403,18 @@ func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 	}
 	out.Time = res.Elapsed
 	out.TimedOut = res.Status == attack.StatusTimeout
+	// Always persist whatever the run recovered — a timed-out attack's
+	// partial candidate lands in the artifact so a merge can re-score it
+	// later without re-running the attack.
+	out.NumKeys = len(res.Keys)
+	out.Keys = res.Keys
 	if res.UniqueKey() {
-		if err := oracle.CheckKey(cs.Lock.Locked, oracle.NewSim(cs.Orig), res.Keys[0], 128, cs.Seed); err == nil {
-			out.Solved = true
-		}
+		// Exact miter equivalence replaces the old 128-pattern random
+		// simulation check: sound on multi-key instances and free of
+		// sampling luck. Only converged (proven-unique) runs are scored:
+		// an unconverged candidate that happens to unlock the circuit
+		// would credit the SAT attack with a solve it never proved.
+		scoreShortlist(ctx, cs, res.Keys, cfg, &out)
 	}
 	if !out.Solved && out.Time < cfg.Timeout {
 		// Censor unsolved runs at the timeout, as the paper's Fig. 6 bars
@@ -326,38 +429,23 @@ func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 // the given level: the SAT attack plus AnalyzeUnateness for HD0,
 // SlidingWindow and Distance2H for h=m/8 and m/4, SlidingWindow only for
 // h=m/3 (Distance2H requires 4h <= m). Individual attack runs execute
-// concurrently on cfg.Workers goroutines; the outcome slice keeps the
-// serial case × attack order.
+// concurrently on cfg.Workers goroutines in adaptive
+// longest-expected-first dispatch order; the outcome slice keeps the
+// serial case × attack order. It is the 1-shard special case of a
+// campaign fig5 suite.
 func Fig5Panel(ctx context.Context, cases []*Case, level HLevel, cfg Config) []Outcome {
-	type run struct {
-		cs       *Case
-		sat      bool
-		analysis fall.Analysis
-	}
-	var runs []run
+	var units []Unit
 	for _, cs := range cases {
 		if cs.Level != level {
 			continue
 		}
-		runs = append(runs, run{cs: cs, sat: true})
-		switch level {
-		case HD0:
-			runs = append(runs, run{cs: cs, analysis: fall.Unateness})
-		case HM3:
-			runs = append(runs, run{cs: cs, analysis: fall.SlidingWindow})
-		default:
-			runs = append(runs, run{cs: cs, analysis: fall.SlidingWindow})
-			runs = append(runs, run{cs: cs, analysis: fall.Distance2H})
-		}
+		units = append(units, fig5CaseUnits(cs.Spec.Name, level)...)
 	}
-	outs := make([]Outcome, len(runs))
-	forEachIndexed(cfg.workers(), len(runs), func(i int) {
-		if runs[i].sat {
-			outs[i] = RunSAT(ctx, runs[i].cs, cfg)
-		} else {
-			outs[i] = RunFALL(ctx, runs[i].cs, runs[i].analysis, cfg)
-		}
-	})
+	results := mustRunUnits(ctx, cases, units, cfg)
+	outs := make([]Outcome, len(results))
+	for i, r := range results {
+		outs[i] = *r.Outcome
+	}
 	return outs
 }
 
@@ -398,79 +486,110 @@ type Fig6Row struct {
 	KCConfirmed    int
 }
 
-// Fig6 reproduces the key confirmation experiment (§VI-C): for each
-// circuit, run key confirmation with φ = the FALL shortlist (falling back
-// to {planted key, complement} when the shortlist is empty, mirroring the
-// paper's use of stage-1 results) and the vanilla SAT attack on the same
-// instances; report per-circuit means. Cases run concurrently on
-// cfg.Workers goroutines; rows aggregate in first-appearance circuit
-// order, so the output layout never depends on scheduling.
-func Fig6(ctx context.Context, cases []*Case, cfg Config) []Fig6Row {
-	fallAtk := fall.New(fall.Options{Enc: cfg.Enc})
-	type caseResult struct {
-		kcElapsed   time.Duration
-		kcRan       bool
-		kcConfirmed bool
-		sa          Outcome
-	}
-	results := make([]caseResult, len(cases))
-	forEachIndexed(cfg.workers(), len(cases), func(i int) {
-		cs := cases[i]
-		var r caseResult
-		// Candidate keys from the FALL stage.
-		var cands []attack.Key
-		fctx, fcancel := attackCtx(ctx, cfg)
-		if res, err := fallAtk.Run(fctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H, Seed: cs.Seed, Workers: 1}); err == nil {
-			cands = res.Keys
-		}
-		fcancel()
-		if len(cands) == 0 {
-			comp := map[string]bool{}
-			for k, v := range cs.Lock.Key {
-				comp[k] = !v
-			}
-			cands = []attack.Key{cs.Lock.Key, comp}
-		}
-		kctx, kcancel := attackCtx(ctx, cfg)
-		kc, err := attack.Run(kctx, "keyconfirm", attack.Target{
-			Locked:        cs.Lock.Locked,
-			Oracle:        oracle.NewSim(cs.Orig),
-			Candidates:    cands,
-			MaxIterations: cfg.SATIterCap,
-			Seed:          cs.Seed,
-			Workers:       1,
-		})
-		kcancel()
-		if err == nil {
-			r.kcRan = true
-			r.kcElapsed = kc.Elapsed
-			r.kcConfirmed = kc.Status == attack.StatusUniqueKey
-		}
-		r.sa = RunSAT(ctx, cs, cfg)
-		results[i] = r
-	})
+// Fig6CaseResult is one case's Fig. 6 measurement: the key confirmation
+// run (φ = the FALL shortlist) and the vanilla SAT attack on the same
+// instance. It serializes to JSON as a campaign artifact.
+type Fig6CaseResult struct {
+	Circuit     string        `json:"circuit"`
+	Level       HLevel        `json:"level"`
+	KCRan       bool          `json:"kc_ran"`
+	KCConfirmed bool          `json:"kc_confirmed"`
+	KCElapsed   time.Duration `json:"kc_elapsed_ns"`
+	KCKey       attack.Key    `json:"kc_key,omitempty"`
+	SA          Outcome       `json:"sat"`
+}
 
+// Failed reports that the pairing produced no usable measurement: the
+// SAT attack failed hard or key confirmation never ran. It is the one
+// definition of Fig. 6 case failure, shared by fallbench's exit code
+// and campaign's artifact accounting — the two must always agree.
+func (r *Fig6CaseResult) Failed() bool { return r.SA.Failed || !r.KCRan }
+
+// RunFig6Case measures one case of the key confirmation experiment
+// (§VI-C): FALL supplies the candidate shortlist (falling back to
+// {planted key, complement} when it is empty, mirroring the paper's use
+// of stage-1 results), key confirmation resolves it against the oracle,
+// and the vanilla SAT attack runs on the same instance for comparison.
+func RunFig6Case(ctx context.Context, cs *Case, cfg Config) Fig6CaseResult {
+	r := Fig6CaseResult{Circuit: cs.Spec.Name, Level: cs.Level}
+	fallAtk := fall.New(fall.Options{Enc: cfg.Enc})
+	var cands []attack.Key
+	fctx, fcancel := attackCtx(ctx, cfg)
+	if res, err := fallAtk.Run(fctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H, Seed: cs.Seed, Workers: 1}); err == nil {
+		cands = res.Keys
+	}
+	fcancel()
+	if len(cands) == 0 {
+		comp := map[string]bool{}
+		for k, v := range cs.Lock.Key {
+			comp[k] = !v
+		}
+		cands = []attack.Key{cs.Lock.Key, comp}
+	}
+	kctx, kcancel := attackCtx(ctx, cfg)
+	kc, err := attack.Run(kctx, "keyconfirm", attack.Target{
+		Locked:        cs.Lock.Locked,
+		Oracle:        oracle.NewSim(cs.Orig),
+		Candidates:    cands,
+		MaxIterations: cfg.SATIterCap,
+		Seed:          cs.Seed,
+		Workers:       1,
+	})
+	kcancel()
+	if err == nil {
+		r.KCRan = true
+		r.KCElapsed = kc.Elapsed
+		r.KCConfirmed = kc.Status == attack.StatusUniqueKey
+		if kc.UniqueKey() {
+			r.KCKey = kc.Keys[0]
+		}
+	}
+	r.SA = RunSAT(ctx, cs, cfg)
+	return r
+}
+
+// Fig6Results runs the Fig. 6 measurement for every case, concurrently
+// on cfg.Workers goroutines with adaptive dispatch; results keep case
+// order.
+func Fig6Results(ctx context.Context, cases []*Case, cfg Config) []Fig6CaseResult {
+	units := make([]Unit, len(cases))
+	for i, cs := range cases {
+		units[i] = Unit{Kind: UnitFig6, Circuit: cs.Spec.Name, Level: cs.Level}
+	}
+	results := mustRunUnits(ctx, cases, units, cfg)
+	out := make([]Fig6CaseResult, len(results))
+	for i, r := range results {
+		out[i] = *r.Fig6
+	}
+	return out
+}
+
+// AggregateFig6 folds per-case measurements into the per-circuit rows of
+// Fig. 6, in first-appearance circuit order. It is a pure function of
+// the results, so merged campaign artifacts aggregate exactly like a
+// monolithic run.
+func AggregateFig6(results []Fig6CaseResult) []Fig6Row {
 	byCircuit := map[string]*Fig6Row{}
 	var order []string
 	kcTimes := map[string][]time.Duration{}
 	saTimes := map[string][]time.Duration{}
-	for i, cs := range cases {
-		name := cs.Spec.Name
+	for i := range results {
+		r := &results[i]
+		name := r.Circuit
 		row, ok := byCircuit[name]
 		if !ok {
 			row = &Fig6Row{Circuit: name}
 			byCircuit[name] = row
 			order = append(order, name)
 		}
-		r := &results[i]
-		if r.kcRan {
-			kcTimes[name] = append(kcTimes[name], r.kcElapsed)
-			if r.kcConfirmed {
+		if r.KCRan {
+			kcTimes[name] = append(kcTimes[name], r.KCElapsed)
+			if r.KCConfirmed {
 				row.KCConfirmed++
 			}
 		}
-		if !r.sa.Failed {
-			saTimes[name] = append(saTimes[name], r.sa.Time)
+		if !r.SA.Failed {
+			saTimes[name] = append(saTimes[name], r.SA.Time)
 		}
 	}
 	rows := make([]Fig6Row, 0, len(order))
@@ -483,6 +602,14 @@ func Fig6(ctx context.Context, cases []*Case, cfg Config) []Fig6Row {
 		rows = append(rows, *row)
 	}
 	return rows
+}
+
+// Fig6 reproduces the key confirmation experiment (§VI-C) end to end:
+// per-case measurements (Fig6Results) folded into per-circuit rows
+// (AggregateFig6). It is the 1-shard special case of a campaign fig6
+// suite.
+func Fig6(ctx context.Context, cases []*Case, cfg Config) []Fig6Row {
+	return AggregateFig6(Fig6Results(ctx, cases, cfg))
 }
 
 func meanStd(ts []time.Duration) (mean, std time.Duration) {
@@ -531,19 +658,35 @@ type Summary struct {
 	// MultiKey lists "circuit/level: n keys" for defeated instances with
 	// more than one shortlisted key.
 	MultiKey []string
+	// Failed counts runs that ended in a hard attack error.
+	Failed int
 }
 
-// Summarize runs the combined (Auto) FALL attack over every case and
-// aggregates the defeat statistics of §VI-B. Cases run concurrently on
-// cfg.Workers goroutines; the statistics (including MultiKey order)
-// aggregate in case order and are identical for every worker count.
-func Summarize(ctx context.Context, cases []*Case, cfg Config) Summary {
-	s := Summary{TotalCases: len(cases)}
-	outs := make([]Outcome, len(cases))
-	forEachIndexed(cfg.workers(), len(cases), func(i int) {
-		outs[i] = RunFALL(ctx, cases[i], fall.Auto, cfg)
-	})
+// SummaryOutcomes runs the combined (Auto) FALL attack over every case,
+// concurrently on cfg.Workers goroutines with adaptive dispatch;
+// outcomes keep case order.
+func SummaryOutcomes(ctx context.Context, cases []*Case, cfg Config) []Outcome {
+	units := make([]Unit, len(cases))
+	for i, cs := range cases {
+		units[i] = Unit{Kind: UnitSummary, Circuit: cs.Spec.Name, Level: cs.Level, Attack: fall.Auto.String()}
+	}
+	results := mustRunUnits(ctx, cases, units, cfg)
+	outs := make([]Outcome, len(results))
+	for i, r := range results {
+		outs[i] = *r.Outcome
+	}
+	return outs
+}
+
+// AggregateSummary folds per-case FALL outcomes into the §VI-B defeat
+// statistics, in outcome order. Pure aggregation: merged campaign
+// artifacts summarize exactly like a monolithic run.
+func AggregateSummary(outs []Outcome) Summary {
+	s := Summary{TotalCases: len(outs)}
 	for _, out := range outs {
+		if out.Failed {
+			s.Failed++
+		}
 		if !out.Solved {
 			continue
 		}
@@ -555,6 +698,15 @@ func Summarize(ctx context.Context, cases []*Case, cfg Config) Summary {
 		}
 	}
 	return s
+}
+
+// Summarize runs the combined (Auto) FALL attack over every case and
+// aggregates the defeat statistics of §VI-B. The statistics (including
+// MultiKey order) aggregate in case order and are identical for every
+// worker count; it is the 1-shard special case of a campaign summary
+// suite.
+func Summarize(ctx context.Context, cases []*Case, cfg Config) Summary {
+	return AggregateSummary(SummaryOutcomes(ctx, cases, cfg))
 }
 
 // FormatSummary renders the summary in the style of the paper's abstract
@@ -571,6 +723,9 @@ func FormatSummary(s Summary) string {
 	fmt.Fprintf(&b, "unique key (oracle-less) for %d / %d successes (%.0f%%)\n", s.UniqueKey, s.Defeated, pct(s.UniqueKey, s.Defeated))
 	for _, m := range s.MultiKey {
 		fmt.Fprintf(&b, "  multi-key: %s\n", m)
+	}
+	if s.Failed > 0 {
+		fmt.Fprintf(&b, "failed runs: %d\n", s.Failed)
 	}
 	return b.String()
 }

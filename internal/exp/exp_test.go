@@ -207,19 +207,21 @@ func TestSummarize(t *testing.T) {
 // outcomeShape is an Outcome with timing stripped: everything that must
 // be identical across harness worker counts.
 type outcomeShape struct {
-	Circuit string
-	Level   HLevel
-	Attack  string
-	Solved  bool
-	Unique  bool
-	NumKeys int
-	Failed  bool
+	Circuit    string
+	Level      HLevel
+	Attack     string
+	Solved     bool
+	Planted    bool
+	Equivalent bool
+	Unique     bool
+	NumKeys    int
+	Failed     bool
 }
 
 func shapes(outs []Outcome) []outcomeShape {
 	s := make([]outcomeShape, len(outs))
 	for i, o := range outs {
-		s[i] = outcomeShape{o.Circuit, o.Level, o.Attack, o.Solved, o.Unique, o.NumKeys, o.Failed}
+		s[i] = outcomeShape{o.Circuit, o.Level, o.Attack, o.Solved, o.PlantedKeyMatch, o.Equivalent, o.Unique, o.NumKeys, o.Failed}
 	}
 	return s
 }
@@ -265,6 +267,47 @@ func TestHarnessDeterministicAcrossWorkers(t *testing.T) {
 			!reflect.DeepEqual(summary.MultiKey, wantSummary.MultiKey) {
 			t.Errorf("workers=%d: summary differs\n got %+v\nwant %+v", workers, summary, *wantSummary)
 		}
+	}
+}
+
+// Scoring must be multi-key aware: Solved follows SAT-miter
+// I/O-equivalence, with planted-key membership kept as a separate
+// signal (Hu et al. 2024).
+func TestScoreShortlist(t *testing.T) {
+	cfg := tinyConfig()
+	cs, err := BuildCase(cfg.Specs[0], HD0, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var planted Outcome
+	scoreShortlist(ctx, cs, []map[string]bool{cs.Lock.Key}, cfg, &planted)
+	if !planted.PlantedKeyMatch || !planted.Equivalent || !planted.Solved {
+		t.Errorf("planted key scored %+v, want match+equivalent+solved", planted)
+	}
+
+	// A flipped key bit breaks a TTLock instance on the protected cube:
+	// not planted, and the miter must refute equivalence.
+	wrong := map[string]bool{}
+	for k, v := range cs.Lock.Key {
+		wrong[k] = v
+	}
+	for k := range wrong {
+		wrong[k] = !wrong[k]
+		break
+	}
+	var flipped Outcome
+	scoreShortlist(ctx, cs, []map[string]bool{wrong}, cfg, &flipped)
+	if flipped.PlantedKeyMatch || flipped.Equivalent || flipped.Solved {
+		t.Errorf("flipped key scored %+v, want nothing", flipped)
+	}
+
+	// A shortlist holding both must be Solved via the planted member.
+	var both Outcome
+	scoreShortlist(ctx, cs, []map[string]bool{wrong, cs.Lock.Key}, cfg, &both)
+	if !both.Solved || !both.PlantedKeyMatch {
+		t.Errorf("mixed shortlist scored %+v, want solved", both)
 	}
 }
 

@@ -65,6 +65,23 @@ func (a Analysis) String() string {
 	}
 }
 
+// ParseAnalysis maps an Analysis.String name back to its value; ok is
+// false for unknown names. It is the inverse used by serialized
+// experiment plans and campaign artifacts.
+func ParseAnalysis(s string) (Analysis, bool) {
+	switch s {
+	case "Auto":
+		return Auto, true
+	case "AnalyzeUnateness":
+		return Unateness, true
+	case "SlidingWindow":
+		return SlidingWindow, true
+	case "Distance2H":
+		return Distance2H, true
+	}
+	return Auto, false
+}
+
 // Options configures an attack run.
 type Options struct {
 	// H is the (known) Hamming distance parameter of the locking scheme.

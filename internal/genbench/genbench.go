@@ -60,6 +60,25 @@ func ByName(name string) (Spec, bool) {
 	return Spec{}, false
 }
 
+// ParseScale maps a CLI scale name to its benchmark specs. It is the
+// single definition of the paper/medium/small/tiny suites, shared by
+// cmd/fallbench and cmd/campaign — the two must agree or a merged
+// campaign could never be byte-identical to a monolithic run of "the
+// same" scale.
+func ParseScale(name string) ([]Spec, error) {
+	switch name {
+	case "paper":
+		return TableI, nil
+	case "medium":
+		return Scaled(TableI, 4, 24), nil
+	case "small":
+		return Scaled(TableI, 8, 16), nil
+	case "tiny":
+		return Scaled(TableI, 16, 12)[:6], nil
+	}
+	return nil, fmt.Errorf("genbench: unknown scale %q (want paper, medium, small or tiny)", name)
+}
+
 // Scaled returns a copy of specs with gate counts divided by factor
 // (minimum floor gates) and key sizes capped at maxKeys, for quick
 // experiment runs. Interface dimensions are reduced only as far as the

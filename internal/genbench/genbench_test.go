@@ -168,3 +168,21 @@ func TestGenerateAll(t *testing.T) {
 		t.Fatalf("generated %d circuits, want 5", len(m))
 	}
 }
+
+func TestParseScale(t *testing.T) {
+	for _, name := range []string{"paper", "medium", "small", "tiny"} {
+		specs, err := ParseScale(name)
+		if err != nil || len(specs) == 0 {
+			t.Errorf("ParseScale(%q) = %d specs, %v", name, len(specs), err)
+		}
+	}
+	if specs, _ := ParseScale("paper"); len(specs) != len(TableI) {
+		t.Error("paper scale is not Table I")
+	}
+	if specs, _ := ParseScale("tiny"); len(specs) != 6 {
+		t.Errorf("tiny scale has %d specs, want 6", len(specs))
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("ParseScale accepted huge")
+	}
+}
