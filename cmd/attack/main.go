@@ -42,6 +42,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 1000*time.Second, "attack time budget (0 = none)")
 		maxIter    = flag.Int("maxiter", 0, "iteration cap for iterative attacks (0 = unlimited)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for attacks that parallelize internally (1 = serial)")
+		solver     = flag.String("solver", "", "SAT engine configuration, e.g. seed=3,restart=geometric,phase=random (empty = baseline CDCL; see sat.ParseConfig)")
+		portfolio  = flag.Int("portfolio", 0, "race N differently-configured SAT engines per query, first verdict wins (<2 = single engine)")
 		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON document on stdout (recovered netlists print as BENCH on stderr)")
 	)
 	flag.Parse()
@@ -63,12 +65,17 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	setup, err := attack.SolverSetupFromSpec(*solver, *portfolio)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	tgt := attack.Target{
 		Locked:        parse(*lockedPath),
 		H:             *h,
 		Seed:          *seed,
 		MaxIterations: *maxIter,
 		Workers:       *workers,
+		Solver:        setup.Factory(),
 	}
 	if *oraclePath != "" {
 		tgt.Oracle = oracle.NewSim(parse(*oraclePath))
@@ -91,6 +98,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	setup.FprintWinStats(os.Stderr)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

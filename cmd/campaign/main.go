@@ -108,6 +108,8 @@ func cmdPlan(args []string) {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-attack time budget")
 	iterCap := fs.Int("satcap", 500, "SAT attack iteration cap (0 = none)")
 	enc := fs.String("enc", "adder", "cardinality encoding: adder | seq")
+	solver := fs.String("solver", "", "SAT engine configuration for every attack and scoring miter (empty = baseline CDCL)")
+	portfolio := fs.Int("portfolio", 0, "race N differently-configured SAT engines per solver query (<2 = single engine)")
 	suites := fs.String("suites", strings.Join(campaign.DefaultSuites(), ","), "report suites, comma-separated")
 	force := fs.Bool("force", false, "overwrite an existing, different plan")
 	fs.Parse(args)
@@ -120,6 +122,8 @@ func cmdPlan(args []string) {
 		Timeout:    *timeout,
 		SATIterCap: *iterCap,
 		Enc:        *enc,
+		Solver:     *solver,
+		Portfolio:  *portfolio,
 		Suites:     strings.Split(*suites, ","),
 	}
 	var err error

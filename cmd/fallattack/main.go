@@ -5,7 +5,8 @@
 // Usage:
 //
 //	fallattack -in locked.bench -h 4 [-analysis auto|unate|window|dist2h] \
-//	           [-timeout 1000s] [-enc adder|seq] [-workers N]
+//	           [-timeout 1000s] [-enc adder|seq] [-workers N] \
+//	           [-solver spec] [-portfolio N]
 package main
 
 import (
@@ -25,12 +26,14 @@ import (
 
 func main() {
 	var (
-		inPath   = flag.String("in", "", "locked circuit in BENCH format")
-		h        = flag.Int("h", 0, "Hamming distance parameter of the locking scheme")
-		analysis = flag.String("analysis", "auto", "functional analysis: auto | unate | window | dist2h")
-		timeout  = flag.Duration("timeout", 1000*time.Second, "attack time budget (0 = none)")
-		enc      = flag.String("enc", "adder", "cardinality encoding: adder | seq")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "candidate analyses run concurrently (1 = serial; shortlist is identical either way)")
+		inPath    = flag.String("in", "", "locked circuit in BENCH format")
+		h         = flag.Int("h", 0, "Hamming distance parameter of the locking scheme")
+		analysis  = flag.String("analysis", "auto", "functional analysis: auto | unate | window | dist2h")
+		timeout   = flag.Duration("timeout", 1000*time.Second, "attack time budget (0 = none)")
+		enc       = flag.String("enc", "adder", "cardinality encoding: adder | seq")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "candidate analyses run concurrently (1 = serial; shortlist is identical either way)")
+		solver    = flag.String("solver", "", "SAT engine configuration, e.g. seed=3,restart=geometric (empty = baseline CDCL)")
+		portfolio = flag.Int("portfolio", 0, "race N differently-configured SAT engines per analysis query (<2 = single engine)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -77,10 +80,15 @@ func main() {
 		defer cancel()
 	}
 
-	out, err := fall.New(opts).Run(ctx, attack.Target{Locked: locked, H: *h, Workers: *workers})
+	setup, err := attack.SolverSetupFromSpec(*solver, *portfolio)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	out, err := fall.New(opts).Run(ctx, attack.Target{Locked: locked, H: *h, Workers: *workers, Solver: setup.Factory()})
 	if err != nil {
 		fatalf("attack: %v", err)
 	}
+	setup.FprintWinStats(os.Stderr)
 	res := out.Details.(*fall.Result)
 	fmt.Printf("status: %s\n", out.Status)
 	fmt.Printf("comparators: %d (pairing %d circuit inputs)\n", len(res.Comparators), len(res.CompX))

@@ -13,6 +13,9 @@
 //	-timeout 5s    per-attack budget (paper: 1000 s)
 //	-workers N     suite cases run concurrently (default: all cores;
 //	               output is identical for every worker count)
+//	-solver SPEC   SAT engine configuration (sat.ParseConfig syntax)
+//	-portfolio N   race N configured engines per solver query
+//	               (decided verdicts are identical for every width)
 //
 // Results go to stdout, diagnostics to stderr. The exit code is 0 on
 // success, 1 on a hard error, and 2 when some attack runs failed (their
@@ -32,30 +35,38 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/exp"
 	"repro/internal/genbench"
+	"repro/internal/sat"
 )
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "regenerate Table I")
-		fig5    = flag.String("fig5", "", "regenerate a Fig. 5 panel: hd0 | h8 | h4 | h3")
-		fig6    = flag.Bool("fig6", false, "regenerate Fig. 6")
-		summary = flag.Bool("summary", false, "regenerate the §VI-B summary statistics")
-		scale   = flag.String("scale", "small", "experiment scale: paper | medium | small | tiny")
-		timeout = flag.Duration("timeout", 5*time.Second, "per-attack time budget")
-		iterCap = flag.Int("satcap", 500, "SAT attack iteration cap (0 = none)")
-		seed    = flag.Int64("seed", 2019, "base seed")
-		enc     = flag.String("enc", "adder", "cardinality encoding: adder | seq")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "suite cases run concurrently (1 = serial; output is identical either way)")
+		table1    = flag.Bool("table1", false, "regenerate Table I")
+		fig5      = flag.String("fig5", "", "regenerate a Fig. 5 panel: hd0 | h8 | h4 | h3")
+		fig6      = flag.Bool("fig6", false, "regenerate Fig. 6")
+		summary   = flag.Bool("summary", false, "regenerate the §VI-B summary statistics")
+		scale     = flag.String("scale", "small", "experiment scale: paper | medium | small | tiny")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-attack time budget")
+		iterCap   = flag.Int("satcap", 500, "SAT attack iteration cap (0 = none)")
+		seed      = flag.Int64("seed", 2019, "base seed")
+		enc       = flag.String("enc", "adder", "cardinality encoding: adder | seq")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "suite cases run concurrently (1 = serial; output is identical either way)")
+		solver    = flag.String("solver", "", "SAT engine configuration for every attack and scoring miter (empty = baseline CDCL)")
+		portfolio = flag.Int("portfolio", 0, "race N differently-configured SAT engines per solver query (<2 = single engine; decided verdicts are identical either way)")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Timeout: *timeout, SATIterCap: *iterCap, Workers: *workers}
+	cfg := exp.Config{Seed: *seed, Timeout: *timeout, SATIterCap: *iterCap, Workers: *workers, Portfolio: *portfolio}
 	var err error
 	if cfg.Specs, err = genbench.ParseScale(*scale); err != nil {
 		fatalf("%v", err)
 	}
 	if cfg.Enc, err = cnf.ParseCardEncoding(*enc); err != nil {
 		fatalf("%v", err)
+	}
+	if *solver != "" {
+		if cfg.Solver, err = sat.ParseConfig(*solver); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	var level exp.HLevel

@@ -31,6 +31,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 1000*time.Second, "time budget (0 = none)")
 		pureAlg4   = flag.Bool("pure", false, "disable the double-DIP acceleration (paper Algorithm 4 verbatim)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "key-space partitions searched concurrently in phi=true mode (1 = serial)")
+		solver     = flag.String("solver", "", "SAT engine configuration, e.g. seed=3,restart=geometric (empty = baseline CDCL)")
+		portfolio  = flag.Int("portfolio", 0, "race N differently-configured SAT engines per query (<2 = single engine)")
 	)
 	flag.Parse()
 	if *lockedPath == "" || *oraclePath == "" {
@@ -57,16 +59,22 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	setup, err := attack.SolverSetupFromSpec(*solver, *portfolio)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	atk := keyconfirm.New(keyconfirm.Options{DisableDoubleDIP: *pureAlg4})
 	res, err := atk.Run(ctx, attack.Target{
 		Locked:     locked,
 		Oracle:     oracle.NewSim(orig),
 		Candidates: cands,
 		Workers:    *workers,
+		Solver:     setup.Factory(),
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
+	setup.FprintWinStats(os.Stderr)
 	fmt.Printf("status: %s, iterations: %d, oracle queries: %d, elapsed: %v\n",
 		res.Status, res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
 	if res.Status == attack.StatusTimeout {

@@ -60,6 +60,12 @@ type Target struct {
 	// execution. Attacks whose algorithm is inherently sequential (the
 	// SAT attack's distinguishing-input loop) ignore it.
 	Workers int
+	// Solver builds the SAT engine behind every solver instance the
+	// attack creates. nil selects a single default-configured engine;
+	// (*SolverSetup).Factory yields configured engines or per-query
+	// portfolio racing with win accounting. Attacks that use no SAT
+	// solving (SPS) ignore it.
+	Solver SolverFactory
 }
 
 // Status is the machine-readable outcome of an attack run.

@@ -27,10 +27,18 @@ import (
 // cancelled mid-solve) or the circuits cannot be aligned; callers must
 // not treat an error as "not equivalent".
 func KeyEquivalent(ctx context.Context, locked, original *circuit.Circuit, key Key) (bool, error) {
+	return KeyEquivalentWith(ctx, nil, locked, original, key)
+}
+
+// KeyEquivalentWith is KeyEquivalent with the miter built on the given
+// solver factory (nil = default single engine): the miter's UNSAT proof
+// is exactly the query class portfolio racing targets, so harnesses
+// score shortlists through the same factory their attacks ran with.
+func KeyEquivalentWith(ctx context.Context, f SolverFactory, locked, original *circuit.Circuit, key Key) (bool, error) {
 	if locked == nil || original == nil {
 		return false, fmt.Errorf("attack: KeyEquivalent needs both circuits")
 	}
-	s := NewSolver(ctx)
+	s := NewEngine(ctx, f)
 	e := cnf.NewEncoder(s)
 
 	// Locked copy with key inputs fixed to the candidate key.

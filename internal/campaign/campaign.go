@@ -36,6 +36,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/exp"
 	"repro/internal/genbench"
+	"repro/internal/sat"
 )
 
 // PlanVersion is bumped whenever the plan schema or case enumeration
@@ -68,6 +69,16 @@ type Config struct {
 	// Enc names the cardinality encoding: "adder" or "seq".
 	Enc        string `json:"enc,omitempty"`
 	SATIterCap int    `json:"sat_iter_cap"`
+	// Solver is the SAT engine configuration spec (sat.ParseConfig
+	// syntax); empty selects the baseline engine. Solver heuristics
+	// never change verdicts, but the spec is part of the plan (and so
+	// of its hash) because it changes the recorded solver_config and
+	// portfolio_stats artifact fields. omitempty keeps hashes of
+	// pre-portfolio plans unchanged.
+	Solver string `json:"solver,omitempty"`
+	// Portfolio races this many configured engines per solver query
+	// (< 2 = single engine).
+	Portfolio int `json:"portfolio,omitempty"`
 	// Suites selects the reports to produce, in output order; empty
 	// means DefaultSuites.
 	Suites []string `json:"suites"`
@@ -79,12 +90,23 @@ func (c Config) ExpConfig() (exp.Config, error) {
 	if err != nil {
 		return exp.Config{}, err
 	}
+	solver, err := sat.ParseConfig(c.Solver)
+	if err != nil {
+		return exp.Config{}, err
+	}
+	if c.Solver == "" {
+		// Preserve the zero value: exp treats the zero sat.Config as
+		// "attack-default engine" and keeps artifacts label-free.
+		solver = sat.Config{}
+	}
 	return exp.Config{
 		Specs:      c.Specs,
 		Seed:       c.Seed,
 		Timeout:    c.Timeout,
 		Enc:        enc,
 		SATIterCap: c.SATIterCap,
+		Solver:     solver,
+		Portfolio:  c.Portfolio,
 	}, nil
 }
 

@@ -1,0 +1,55 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/genbench"
+)
+
+// TestPlanSolverConfig: solver settings are part of a plan's identity,
+// survive serialization, and reject bad specs at plan time.
+func TestPlanSolverConfig(t *testing.T) {
+	base := Config{
+		Specs:  genbench.Scaled(genbench.TableI, 16, 12)[:2],
+		Seed:   7,
+		Suites: []string{"summary"},
+	}
+	p1, err := NewPlan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withSolver := base
+	withSolver.Solver = "seed=3,restart=geometric"
+	withSolver.Portfolio = 3
+	p2, err := NewPlan(withSolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Hash == p2.Hash {
+		t.Error("solver settings must change the plan hash")
+	}
+	ec, err := p2.Config.ExpConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.Portfolio != 3 || ec.Solver.Seed != 3 {
+		t.Errorf("ExpConfig lost solver settings: %+v portfolio %d", ec.Solver, ec.Portfolio)
+	}
+
+	// Default (empty) spec resolves to the zero config so artifacts stay
+	// label-free.
+	ecDefault, err := p1.Config.ExpConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecDefault.Portfolio != 0 || ecDefault.Solver.RestartBase != 0 {
+		t.Errorf("default plan must keep the zero solver config, got %+v", ecDefault.Solver)
+	}
+
+	bad := base
+	bad.Solver = "frobnicate=1"
+	if _, err := NewPlan(bad); err == nil {
+		t.Error("bad solver spec accepted at plan time")
+	}
+}

@@ -49,17 +49,18 @@ func ParseCardEncoding(s string) (CardEncoding, error) {
 	return AdderTree, fmt.Errorf("cnf: unknown cardinality encoding %q (want adder or seq)", s)
 }
 
-// Encoder owns a SAT solver and allocates auxiliary variables for Tseitin
-// encodings built on top of it.
+// Encoder owns a SAT engine and allocates auxiliary variables for Tseitin
+// encodings built on top of it. Any sat.Engine works — a single solver,
+// a racing portfolio, or a future external backend.
 type Encoder struct {
-	S *sat.Solver
+	S sat.Engine
 
 	haveConst bool
 	trueLit   sat.Lit
 }
 
-// NewEncoder wraps an existing solver.
-func NewEncoder(s *sat.Solver) *Encoder { return &Encoder{S: s} }
+// NewEncoder wraps an existing engine.
+func NewEncoder(s sat.Engine) *Encoder { return &Encoder{S: s} }
 
 // NewLit allocates a fresh variable and returns its positive literal.
 func (e *Encoder) NewLit() sat.Lit { return sat.PosLit(e.S.NewVar()) }

@@ -36,6 +36,9 @@ func (d *ddAttack) Run(ctx context.Context, tgt attack.Target) (*attack.Result, 
 	if tgt.Seed != 0 {
 		opts.Seed = tgt.Seed
 	}
+	if tgt.Solver != nil {
+		opts.Solver = tgt.Solver
+	}
 	res, err := Run(ctx, tgt.Locked, tgt.Oracle, opts)
 	if err != nil {
 		return nil, err

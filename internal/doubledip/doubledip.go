@@ -49,6 +49,9 @@ type Options struct {
 	ErrorExitSamples int
 	// Seed drives the random sampling of the error-exit check.
 	Seed int64
+	// Solver builds the SAT engines (2-DIP solver D, extraction solver
+	// P, exact-phase solver Q); nil means default single engines.
+	Solver attack.SolverFactory
 }
 
 // Result reports a Double DIP run.
@@ -99,7 +102,7 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 	// layer like SARLock can make at most one key misbehave per input,
 	// so it can never serve two disjoint pairs: the query never "wastes"
 	// an iteration on the SARLock layer (Shen & Zhou's key insight).
-	d := attack.NewSolver(ctx)
+	d := attack.NewEngine(ctx, opts.Solver)
 	de := cnf.NewEncoder(d)
 	d1 := de.EncodeCircuitWith(locked, nil)
 	shared := make(map[int]sat.Lit, len(pis))
@@ -124,7 +127,7 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 	}
 
 	// Key-extraction solver P.
-	p := attack.NewSolver(ctx)
+	p := attack.NewEngine(ctx, opts.Solver)
 	pe := cnf.NewEncoder(p)
 	kp := make([]sat.Lit, len(keys))
 	givenP := make(map[int]sat.Lit, len(keys))
@@ -215,7 +218,7 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 	// Phase 2: exact single-DIP convergence (optional; skipped when the
 	// shared iteration budget is already spent).
 	if maxExactIterations != 0 && budgetLeft() {
-		q := attack.NewSolver(ctx)
+		q := attack.NewEngine(ctx, opts.Solver)
 		qe := cnf.NewEncoder(q)
 		q1 := qe.EncodeCircuitWith(locked, nil)
 		sharedQ := make(map[int]sat.Lit, len(pis))

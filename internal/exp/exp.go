@@ -27,6 +27,7 @@ import (
 	"repro/internal/genbench"
 	"repro/internal/lock"
 	"repro/internal/oracle"
+	"repro/internal/sat"
 )
 
 // HLevel identifies the four locking configurations evaluated in Fig. 5.
@@ -138,6 +139,27 @@ type Config struct {
 	// intra-attack parallelism pinned to 1, and results merge in case
 	// order.
 	Workers int
+	// Solver configures the SAT engine behind every attack query and
+	// scoring miter; the zero value is the baseline single engine.
+	Solver sat.Config
+	// Portfolio races this many differently-configured engines per
+	// solver query, first verdict wins (< 2 disables racing). Racing
+	// never changes verdicts — every engine decides the same formula —
+	// only the runtime distribution; per-config win statistics land in
+	// each Outcome.
+	Portfolio int
+}
+
+// solverSetup derives the per-run solver setup. Each attack run gets a
+// fresh setup, so its recorded win statistics describe that run alone;
+// a fully-default config returns nil (the attacks' built-in default
+// engine), keeping default outcomes byte-identical to pre-portfolio
+// artifacts.
+func (cfg Config) solverSetup() *attack.SolverSetup {
+	if cfg.Portfolio < 2 && cfg.Solver == (sat.Config{}) {
+		return nil
+	}
+	return attack.NewSolverSetup(cfg.Solver, cfg.Portfolio)
 }
 
 // workers resolves the effective harness pool size.
@@ -310,6 +332,15 @@ type Outcome struct {
 	// Fig. 6 means.
 	Failed bool          `json:"failed"`
 	Time   time.Duration `json:"time_ns"`
+	// SolverConfig records a non-default solver setup the run used
+	// (attack.SolverSetup.Label form); empty for the baseline single
+	// engine, so default artifacts stay byte-identical to older ones.
+	SolverConfig string `json:"solver_config,omitempty"`
+	// PortfolioStats carries the per-config win/conflict accounting
+	// accumulated across this run's solver queries (attack and scoring
+	// miters) when portfolio racing was enabled. Wins and conflicts are
+	// scheduling-dependent diagnostics; verdict fields never are.
+	PortfolioStats []sat.ConfigStats `json:"portfolio_stats,omitempty"`
 }
 
 // scoreShortlist scores a recovered shortlist against the case:
@@ -322,7 +353,7 @@ type Outcome struct {
 // campaign shard) forever. An undecided miter counts as not equivalent;
 // with Timeout == 0 scoring is unbounded and verdicts stay pure
 // functions of the seed (what the determinism tests rely on).
-func scoreShortlist(ctx context.Context, cs *Case, keys []attack.Key, cfg Config, out *Outcome) {
+func scoreShortlist(ctx context.Context, cs *Case, keys []attack.Key, cfg Config, setup *attack.SolverSetup, out *Outcome) {
 	for _, key := range keys {
 		if attack.KeysEqual(key, cs.Lock.Key) {
 			out.PlantedKeyMatch = true
@@ -334,7 +365,10 @@ func scoreShortlist(ctx context.Context, cs *Case, keys []attack.Key, cfg Config
 		sctx, cancel := attackCtx(ctx, cfg)
 		defer cancel()
 		for _, key := range keys {
-			if eq, err := attack.KeyEquivalent(sctx, cs.Lock.Locked, cs.Orig, key); err == nil && eq {
+			// The miter runs through the same solver setup as the attack:
+			// its UNSAT proof is exactly the query class portfolio racing
+			// targets, and its races land in the same win accounting.
+			if eq, err := attack.KeyEquivalentWith(sctx, setup.Factory(), cs.Lock.Locked, cs.Orig, key); err == nil && eq {
 				out.Equivalent = true
 				break
 			}
@@ -357,10 +391,12 @@ func attackCtx(ctx context.Context, cfg Config) (context.Context, context.Cancel
 // cases, and nesting pools would oversubscribe the machine.
 func RunFALL(ctx context.Context, cs *Case, analysis fall.Analysis, cfg Config) Outcome {
 	out := Outcome{Circuit: cs.Spec.Name, Level: cs.Level, Attack: analysis.String()}
+	setup := cfg.solverSetup()
+	out.SolverConfig = setup.Label()
 	rctx, cancel := attackCtx(ctx, cfg)
 	defer cancel()
 	atk := fall.New(fall.Options{Analysis: analysis, Enc: cfg.Enc})
-	res, err := atk.Run(rctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H, Seed: cs.Seed, Workers: 1})
+	res, err := atk.Run(rctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H, Seed: cs.Seed, Workers: 1, Solver: setup.Factory()})
 	if err != nil {
 		// Hard failure (timeouts come back as StatusTimeout, not errors):
 		// report the outcome failed with no fabricated timing.
@@ -375,8 +411,9 @@ func RunFALL(ctx context.Context, cs *Case, analysis fall.Analysis, cfg Config) 
 	// near-exhausted) deadline: scoring is harness work with its own
 	// budget, and verdicts must not depend on how close the attack ran
 	// to its deadline.
-	scoreShortlist(ctx, cs, res.Keys, cfg, &out)
+	scoreShortlist(ctx, cs, res.Keys, cfg, setup, &out)
 	out.Unique = out.Solved && res.UniqueKey()
+	out.PortfolioStats = setup.WinStats()
 	return out
 }
 
@@ -384,6 +421,8 @@ func RunFALL(ctx context.Context, cs *Case, analysis fall.Analysis, cfg Config) 
 // attack API.
 func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 	out := Outcome{Circuit: cs.Spec.Name, Level: cs.Level, Attack: "SAT-Attack"}
+	setup := cfg.solverSetup()
+	out.SolverConfig = setup.Label()
 	rctx, cancel := attackCtx(ctx, cfg)
 	defer cancel()
 	res, err := attack.Run(rctx, "sat", attack.Target{
@@ -392,6 +431,7 @@ func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 		MaxIterations: cfg.SATIterCap,
 		Seed:          cs.Seed,
 		Workers:       1,
+		Solver:        setup.Factory(),
 	})
 	if err != nil {
 		// A hard error is not a timeout: fabricating `TimedOut` with
@@ -414,7 +454,7 @@ func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 		// sampling luck. Only converged (proven-unique) runs are scored:
 		// an unconverged candidate that happens to unlock the circuit
 		// would credit the SAT attack with a solve it never proved.
-		scoreShortlist(ctx, cs, res.Keys, cfg, &out)
+		scoreShortlist(ctx, cs, res.Keys, cfg, setup, &out)
 	}
 	if !out.Solved && out.Time < cfg.Timeout {
 		// Censor unsolved runs at the timeout, as the paper's Fig. 6 bars
@@ -422,6 +462,7 @@ func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 		// finished within the time budget either).
 		out.Time = cfg.Timeout
 	}
+	out.PortfolioStats = setup.WinStats()
 	return out
 }
 
@@ -496,7 +537,12 @@ type Fig6CaseResult struct {
 	KCConfirmed bool          `json:"kc_confirmed"`
 	KCElapsed   time.Duration `json:"kc_elapsed_ns"`
 	KCKey       attack.Key    `json:"kc_key,omitempty"`
-	SA          Outcome       `json:"sat"`
+	// KCSolverConfig / KCPortfolio record the non-default solver setup
+	// of the FALL→key-confirmation pipeline (the SAT attack's setup is
+	// in SA); empty/nil for the baseline single engine.
+	KCSolverConfig string            `json:"kc_solver_config,omitempty"`
+	KCPortfolio    []sat.ConfigStats `json:"kc_portfolio,omitempty"`
+	SA             Outcome           `json:"sat"`
 }
 
 // Failed reports that the pairing produced no usable measurement: the
@@ -512,10 +558,12 @@ func (r *Fig6CaseResult) Failed() bool { return r.SA.Failed || !r.KCRan }
 // and the vanilla SAT attack runs on the same instance for comparison.
 func RunFig6Case(ctx context.Context, cs *Case, cfg Config) Fig6CaseResult {
 	r := Fig6CaseResult{Circuit: cs.Spec.Name, Level: cs.Level}
+	setup := cfg.solverSetup()
+	r.KCSolverConfig = setup.Label()
 	fallAtk := fall.New(fall.Options{Enc: cfg.Enc})
 	var cands []attack.Key
 	fctx, fcancel := attackCtx(ctx, cfg)
-	if res, err := fallAtk.Run(fctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H, Seed: cs.Seed, Workers: 1}); err == nil {
+	if res, err := fallAtk.Run(fctx, attack.Target{Locked: cs.Lock.Locked, H: cs.H, Seed: cs.Seed, Workers: 1, Solver: setup.Factory()}); err == nil {
 		cands = res.Keys
 	}
 	fcancel()
@@ -534,6 +582,7 @@ func RunFig6Case(ctx context.Context, cs *Case, cfg Config) Fig6CaseResult {
 		MaxIterations: cfg.SATIterCap,
 		Seed:          cs.Seed,
 		Workers:       1,
+		Solver:        setup.Factory(),
 	})
 	kcancel()
 	if err == nil {
@@ -544,6 +593,7 @@ func RunFig6Case(ctx context.Context, cs *Case, cfg Config) Fig6CaseResult {
 			r.KCKey = kc.Keys[0]
 		}
 	}
+	r.KCPortfolio = setup.WinStats()
 	r.SA = RunSAT(ctx, cs, cfg)
 	return r
 }

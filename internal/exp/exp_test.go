@@ -282,7 +282,7 @@ func TestScoreShortlist(t *testing.T) {
 	ctx := context.Background()
 
 	var planted Outcome
-	scoreShortlist(ctx, cs, []map[string]bool{cs.Lock.Key}, cfg, &planted)
+	scoreShortlist(ctx, cs, []map[string]bool{cs.Lock.Key}, cfg, cfg.solverSetup(), &planted)
 	if !planted.PlantedKeyMatch || !planted.Equivalent || !planted.Solved {
 		t.Errorf("planted key scored %+v, want match+equivalent+solved", planted)
 	}
@@ -298,14 +298,14 @@ func TestScoreShortlist(t *testing.T) {
 		break
 	}
 	var flipped Outcome
-	scoreShortlist(ctx, cs, []map[string]bool{wrong}, cfg, &flipped)
+	scoreShortlist(ctx, cs, []map[string]bool{wrong}, cfg, cfg.solverSetup(), &flipped)
 	if flipped.PlantedKeyMatch || flipped.Equivalent || flipped.Solved {
 		t.Errorf("flipped key scored %+v, want nothing", flipped)
 	}
 
 	// A shortlist holding both must be Solved via the planted member.
 	var both Outcome
-	scoreShortlist(ctx, cs, []map[string]bool{wrong, cs.Lock.Key}, cfg, &both)
+	scoreShortlist(ctx, cs, []map[string]bool{wrong, cs.Lock.Key}, cfg, cfg.solverSetup(), &both)
 	if !both.Solved || !both.PlantedKeyMatch {
 		t.Errorf("mixed shortlist scored %+v, want solved", both)
 	}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/fall"
+	"repro/internal/sat"
+)
+
+// TestHarnessPortfolioVerdictsMatch: the same case scored with per-query
+// portfolio racing must report the same verdict fields as the default
+// single engine (racing changes runtimes, never verdicts), and must
+// carry the solver label and win accounting in the outcome.
+func TestHarnessPortfolioVerdictsMatch(t *testing.T) {
+	cfg := tinyConfig()
+	cs, err := BuildCase(cfg.Specs[0], HD0, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base := RunFALL(ctx, cs, fall.Unateness, cfg)
+	if base.SolverConfig != "" || base.PortfolioStats != nil {
+		t.Errorf("default run must not record solver fields: %q %v", base.SolverConfig, base.PortfolioStats)
+	}
+
+	pcfg := cfg
+	pcfg.Portfolio = 3
+	port := RunFALL(ctx, cs, fall.Unateness, pcfg)
+	if port.Solved != base.Solved || port.Equivalent != base.Equivalent ||
+		port.PlantedKeyMatch != base.PlantedKeyMatch || port.NumKeys != base.NumKeys ||
+		port.Failed != base.Failed {
+		t.Errorf("portfolio verdict differs from single engine:\n  base %+v\n  port %+v", base, port)
+	}
+	if port.SolverConfig == "" {
+		t.Error("portfolio run must record its solver config")
+	}
+	if len(port.PortfolioStats) != 3 {
+		t.Fatalf("portfolio run recorded %d config stats, want 3", len(port.PortfolioStats))
+	}
+	var wins int64
+	for _, cs := range port.PortfolioStats {
+		wins += cs.Wins
+	}
+	if wins == 0 {
+		t.Error("no portfolio wins recorded — factory not plumbed into the attack?")
+	}
+}
+
+// TestHarnessSolverConfigLabel: a non-default single-engine config is
+// recorded without portfolio stats.
+func TestHarnessSolverConfigLabel(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Solver = sat.Config{Seed: 7, Restart: sat.RestartGeometric}
+	cs, err := BuildCase(cfg.Specs[0], HD0, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RunFALL(context.Background(), cs, fall.Unateness, cfg)
+	if out.SolverConfig == "" {
+		t.Error("non-default solver config not recorded")
+	}
+	if out.PortfolioStats != nil {
+		t.Errorf("single-engine run must not carry portfolio stats: %v", out.PortfolioStats)
+	}
+	if out.Failed {
+		t.Error("configured run failed")
+	}
+}

@@ -29,6 +29,9 @@ func (f *fallAttack) Run(ctx context.Context, tgt attack.Target) (*attack.Result
 	if tgt.Workers != 0 {
 		opts.Workers = tgt.Workers
 	}
+	if tgt.Solver != nil {
+		opts.Solver = tgt.Solver
+	}
 	start := time.Now()
 	res, err := Attack(ctx, tgt.Locked, opts)
 	out := &attack.Result{

@@ -1,0 +1,133 @@
+package fall
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/circuit"
+)
+
+// This file implements adaptive dispatch inside the FALL analysis grid:
+// candidate×polarity cells are handed to the worker pool in
+// longest-expected-first order (the grid-level analogue of
+// exp.DispatchOrder), so one late heavy cell cannot run alone after
+// every cheap cell has drained. Dispatch order changes scheduling only:
+// outcomes are written at the cell's original index and merged in
+// candidate order, so the shortlist stays byte-identical to a serial
+// run for every worker count.
+
+// cellEstimate estimates the relative runtime of one candidate's grid
+// cells. The deterministic drivers, cheapest to probe:
+//
+//   - cone size: every SAT query Tseitin-encodes the cone (twice for
+//     the HD instances), and UNSAT lemma proofs grow with it;
+//   - a 256-pattern on-set density probe, the same signal (and the
+//     same shared threshold/RNG, see densityThreshold/densityRNG) the
+//     density pre-filter applies on 16384 patterns: cells the filter
+//     will reject are near-free (one simulation sweep, no SAT), while
+//     cells that pass it run the full analysis plus the
+//     equivalence-check UNSAT proof. With the filter disabled
+//     (ablation) the relation inverts — dense parity-like cells are
+//     precisely the ones whose lemma proofs blow up, so they cost the
+//     most.
+type cellEstimate struct {
+	coneLen int
+	// dense[0]/dense[1] report the positive/negated polarity probe
+	// exceeding the stripper-density threshold.
+	dense [2]bool
+}
+
+// estimateCandidate probes one candidate node; a pure function of the
+// cone, never of run order.
+func estimateCandidate(c *circuit.Circuit, cand, h int) cellEstimate {
+	cone, _ := c.Cone(cand)
+	ins := cone.Inputs()
+	m := len(ins)
+	est := cellEstimate{coneLen: cone.Len()}
+	if m == 0 {
+		return est
+	}
+	const words = 4 // 256 patterns: a probe, not the filter itself
+	n := float64(words * 64)
+	threshold := densityThreshold(n, m, h)
+	rng := densityRNG(cone.Len(), m)
+	vals := make([]uint64, cone.Len())
+	var on float64
+	for w := 0; w < words; w++ {
+		for _, in := range ins {
+			vals[in] = rng.Uint64()
+		}
+		cone.Simulate(vals)
+		on += float64(bits.OnesCount64(vals[cone.Outputs[0]]))
+	}
+	est.dense[0] = on > threshold
+	est.dense[1] = n-on > threshold
+	return est
+}
+
+func (e cellEstimate) cost(neg bool, h int, filterEnabled bool) int64 {
+	pol := 0
+	if neg {
+		pol = 1
+	}
+	full := int64(e.coneLen) * int64(2+h)
+	if !e.dense[pol] {
+		// Stripper-like density: survives the filter, runs the full
+		// analysis and the equivalence-check UNSAT proof.
+		return full
+	}
+	if filterEnabled {
+		// The density filter will reject this cell after one cheap
+		// simulation sweep.
+		return 1 + int64(e.coneLen)/64
+	}
+	// Filter disabled (ablation): dense parity-like cells are the ones
+	// whose UNSAT lemma proofs explode.
+	return 8 * full
+}
+
+// gridDispatchOrder returns the indices of jobs sorted
+// longest-expected-first, ties broken by job index so the order is
+// deterministic. Candidates are probed once (not once per polarity
+// cell), on the same worker pool the grid itself will use, so the
+// probe adds no serial prefix before the first cell dispatches.
+func gridDispatchOrder(c *circuit.Circuit, jobs []analysisJob, opts *Options) []int {
+	var cands []int
+	seen := map[int]bool{}
+	for _, j := range jobs {
+		if !seen[j.cand] {
+			seen[j.cand] = true
+			cands = append(cands, j.cand)
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	estimates := make([]cellEstimate, len(cands))
+	attack.ForEachIndexed(workers, len(cands), func(i int) bool {
+		estimates[i] = estimateCandidate(c, cands[i], opts.H)
+		return true
+	})
+	est := make(map[int]cellEstimate, len(cands))
+	for i, cand := range cands {
+		est[cand] = estimates[i]
+	}
+	cost := make([]int64, len(jobs))
+	for i, j := range jobs {
+		cost[i] = est[j.cand].cost(j.neg, opts.H, !opts.DisableDensityFilter)
+	}
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if cost[order[a]] != cost[order[b]] {
+			return cost[order[a]] > cost[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

@@ -110,6 +110,11 @@ type Options struct {
 	// its solvers, and results merge in candidate order, so the
 	// shortlist is identical for every worker count.
 	Workers int
+	// Solver builds the SAT engine behind every analysis query. Each
+	// candidate×polarity cell creates its engines through this factory,
+	// so every cell can independently run a portfolio race per query;
+	// nil means default single engines.
+	Solver attack.SolverFactory
 }
 
 // Comparator records one identified comparator gate: node computes
@@ -347,6 +352,32 @@ func newAnalysisContext(ctx context.Context, c *circuit.Circuit, node int, neg b
 	return &analysisContext{ctx: ctx, cone: cone, inputMap: im, inputs: ins, neg: neg, opts: opts}, nil
 }
 
+// stripperLog2Density returns log2(C(m,h)/2^m), the on-set density of
+// a true cube stripper over m inputs.
+func stripperLog2Density(m, h int) float64 {
+	log2d := -float64(m)
+	for i := 1; i <= h; i++ {
+		log2d += math.Log2(float64(m-h+i)) - math.Log2(float64(i))
+	}
+	return log2d
+}
+
+// densityThreshold returns the accept threshold for n sampled patterns:
+// 16x the stripper's expected on-count plus an additive slack (64 at
+// the filter's 16384 patterns, scaled for smaller probes). Shared by
+// densityFilter and the dispatch cost probe so the two never disagree
+// about what the filter will reject.
+func densityThreshold(n float64, m, h int) float64 {
+	return 16*n*math.Exp2(stripperLog2Density(m, h)) + 64*n/16384
+}
+
+// densityRNG returns the deterministic pattern source for density
+// sampling over a cone: a pure function of the cone, never of run
+// order, and likewise shared by the filter and the dispatch probe.
+func densityRNG(coneLen, m int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(coneLen)*2654435761 + int64(m)))
+}
+
 // densityFilter reports whether the analyzed function's sampled on-set
 // density is consistent with a cube stripper. strip_h has exactly
 // C(m,h) on-minterms out of 2^m; nodes like adder sum bits share the
@@ -360,16 +391,9 @@ func (a *analysisContext) densityFilter(h int) bool {
 		return true
 	}
 	m := len(a.inputs)
-	// expected on-count among n samples: n * C(m,h) / 2^m, via log2.
-	log2d := -float64(m)
-	for i := 1; i <= h; i++ {
-		log2d += math.Log2(float64(m-h+i)) - math.Log2(float64(i))
-	}
 	const words = 256 // 16384 patterns
-	n := float64(words * 64)
-	expected := n * math.Exp2(log2d)
-	threshold := 16*expected + 64
-	rng := rand.New(rand.NewSource(int64(a.cone.Len())*2654435761 + int64(m)))
+	threshold := densityThreshold(float64(words*64), m, h)
+	rng := densityRNG(a.cone.Len(), m)
 	vals := make([]uint64, a.cone.Len())
 	count := 0.0
 	for w := 0; w < words; w++ {
@@ -389,8 +413,8 @@ func (a *analysisContext) densityFilter(h int) bool {
 	return true
 }
 
-func (a *analysisContext) solver() *sat.Solver {
-	return attack.NewSolver(a.ctx)
+func (a *analysisContext) solver() sat.Engine {
+	return attack.NewEngine(a.ctx, a.opts.Solver)
 }
 
 func (a *analysisContext) expired() bool {
@@ -513,8 +537,9 @@ func (a *analysisContext) checkUnate(xi int, positive, knownViolated bool) (bool
 }
 
 // hdInstance encodes F = cone(X) ∧ cone(X') ∧ HD(X, X') = 2h and returns
-// the solver, the input literal vectors and the difference literals.
-func (a *analysisContext) hdInstance(h int) (*sat.Solver, []sat.Lit, []sat.Lit, []sat.Lit) {
+// the solver engine, the input literal vectors and the difference
+// literals.
+func (a *analysisContext) hdInstance(h int) (sat.Engine, []sat.Lit, []sat.Lit, []sat.Lit) {
 	s := a.solver()
 	e := cnf.NewEncoder(s)
 	lits1 := e.EncodeCircuitWith(a.cone, nil)
@@ -766,20 +791,24 @@ type analysisOutcome struct {
 }
 
 // runAnalysisGrid evaluates every grid cell on a bounded worker pool and
-// returns the outcomes indexed like jobs. Cells are independent and
-// deterministic (every solver and RNG is local to the cell), so the
-// outcome slice does not depend on the worker count. An erroring cell
-// (hard failure or ctx cancellation) stops further cells from being
-// dispatched, so the grid fails fast and drains promptly; every cell
-// preceding the first error still completes, keeping the partial
-// shortlist identical to a serial run's.
+// returns the outcomes indexed like jobs. Cells are handed to the pool
+// in adaptive longest-expected-first order (gridDispatchOrder) to cut
+// tail latency, but each outcome is written at its job index and merged
+// in candidate order, so the completed-run shortlist does not depend on
+// the worker count or the dispatch order. Cells are independent and
+// deterministic (every solver and RNG is local to the cell). An
+// erroring cell (hard failure or ctx cancellation) stops further cells
+// from being dispatched, so the grid fails fast and drains promptly;
+// every cell dispatched before the first error still completes.
 func runAnalysisGrid(ctx context.Context, locked *circuit.Circuit, jobs []analysisJob, m int, opts *Options, pairing map[int]pairEntry) []analysisOutcome {
 	outcomes := make([]analysisOutcome, len(jobs))
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	attack.ForEachIndexed(workers, len(jobs), func(i int) bool {
+	order := gridDispatchOrder(locked, jobs, opts)
+	attack.ForEachIndexed(workers, len(jobs), func(j int) bool {
+		i := order[j]
 		outcomes[i] = analyzeCell(ctx, locked, jobs[i], m, opts, pairing)
 		return outcomes[i].err == nil
 	})

@@ -35,6 +35,9 @@ func (k *kcAttack) Run(ctx context.Context, tgt attack.Target) (*attack.Result, 
 	if tgt.MaxIterations != 0 {
 		opts.MaxIterations = tgt.MaxIterations
 	}
+	if tgt.Solver != nil {
+		opts.Solver = tgt.Solver
+	}
 	workers := tgt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -68,6 +68,9 @@ type Options struct {
 	DisableDoubleDIP bool
 	// MaxIterations bounds distinguishing-input queries (<= 0: unlimited).
 	MaxIterations int
+	// Solver builds the SAT engines (the P/Q solvers of Algorithm 4 and
+	// the accelerated solver D); nil means default single engines.
+	Solver attack.SolverFactory
 }
 
 // Confirm runs key confirmation with φ = OR over the candidate key
@@ -89,7 +92,7 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 	}
 
 	// Solver P: candidate keys satisfying φ and observed I/O patterns.
-	p := attack.NewSolver(ctx)
+	p := attack.NewEngine(ctx, opts.Solver)
 	pe := cnf.NewEncoder(p)
 	kp := make([]sat.Lit, len(keys))
 	givenP := make(map[int]sat.Lit, len(keys))
@@ -102,7 +105,7 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 	}
 
 	// Solver Q: single-copy miter per Algorithm 4 (the sound terminator).
-	q := attack.NewSolver(ctx)
+	q := attack.NewEngine(ctx, opts.Solver)
 	qe := cnf.NewEncoder(q)
 	q1lits := qe.EncodeCircuitWith(locked, nil)
 	sharedQ := piShared(locked, q1lits)
@@ -112,13 +115,13 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 	qK2given := attack.KeyGiven(keys, cnf.InputLits(keys, q2lits))
 
 	// Solver D: accelerated double-DIP miter (two other-key copies).
-	var d *sat.Solver
+	var d sat.Engine
 	var de *cnf.Encoder
 	var dK1 []sat.Lit
 	var dPIs []sat.Lit
 	var dK2given, dK3given map[int]sat.Lit
 	if !opts.DisableDoubleDIP {
-		d = attack.NewSolver(ctx)
+		d = attack.NewEngine(ctx, opts.Solver)
 		de = cnf.NewEncoder(d)
 		d1 := de.EncodeCircuitWith(locked, nil)
 		sharedD := piShared(locked, d1)
@@ -223,7 +226,7 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 
 // encodePhi adds φ = OR_j (K == candidate_j) to solver p via selector
 // variables.
-func encodePhi(p *sat.Solver, pe *cnf.Encoder, locked *circuit.Circuit, keys []int, kp []sat.Lit, candidates []map[string]bool) {
+func encodePhi(p sat.Engine, pe *cnf.Encoder, locked *circuit.Circuit, keys []int, kp []sat.Lit, candidates []map[string]bool) {
 	sels := make([]sat.Lit, len(candidates))
 	for j, cand := range candidates {
 		sel := pe.NewLit()

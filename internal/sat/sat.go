@@ -13,6 +13,7 @@ package sat
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"time"
 )
 
@@ -102,6 +103,11 @@ type watcher struct {
 }
 
 // Stats collects solver counters for benchmarking and diagnostics.
+//
+// Counters accumulate monotonically across Solve/SolveAssuming calls on
+// one solver — they are never reset. Callers that need per-call figures
+// (the portfolio win accounting does) snapshot Stats before the call and
+// subtract afterwards; TestStatsAccumulate pins this semantics down.
 type Stats struct {
 	Decisions    int64
 	Propagations int64
@@ -110,6 +116,33 @@ type Stats struct {
 	Learnt       int64
 	Removed      int64
 	SolveCalls   int64
+}
+
+// Sub returns the per-call delta between a later snapshot s and an
+// earlier snapshot prev.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Decisions:    s.Decisions - prev.Decisions,
+		Propagations: s.Propagations - prev.Propagations,
+		Conflicts:    s.Conflicts - prev.Conflicts,
+		Restarts:     s.Restarts - prev.Restarts,
+		Learnt:       s.Learnt - prev.Learnt,
+		Removed:      s.Removed - prev.Removed,
+		SolveCalls:   s.SolveCalls - prev.SolveCalls,
+	}
+}
+
+// Add returns the componentwise sum of two snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Decisions:    s.Decisions + o.Decisions,
+		Propagations: s.Propagations + o.Propagations,
+		Conflicts:    s.Conflicts + o.Conflicts,
+		Restarts:     s.Restarts + o.Restarts,
+		Learnt:       s.Learnt + o.Learnt,
+		Removed:      s.Removed + o.Removed,
+		SolveCalls:   s.SolveCalls + o.SolveCalls,
+	}
 }
 
 // Solver is an incremental CDCL SAT solver. Create with New, add variables
@@ -147,29 +180,57 @@ type Solver struct {
 	maxLearnts   float64
 	learntGrowth float64
 
-	// Budgets.
-	conflictLimit int64 // 0 = unlimited
-	deadline      time.Time
-	ctx           context.Context // optional external cancellation
+	// Heuristic configuration (normalized) and its seeded tie-breaking
+	// source (nil when no heuristic consumes randomness).
+	cfg Config
+	rng *rand.Rand
+
+	// Budgets. SetDeadline and SetContext both fold into ctx, so search
+	// has a single budget check (budgetExceeded) instead of
+	// deadline+context double bookkeeping.
+	conflictLimit int64           // 0 = unlimited
+	baseCtx       context.Context // as passed to SetContext
+	deadline      time.Time       // as passed to SetDeadline
+	ctx           context.Context // baseCtx composed with the deadline
 	budgetPolls   uint32          // throttles the in-search budget checks
 
 	model []lbool // last satisfying assignment
 
-	// Stats holds cumulative counters across Solve calls.
-	Stats Stats
+	// stats holds cumulative counters across Solve calls; see Stats.
+	stats Stats
 }
 
-// New returns an empty solver.
-func New() *Solver {
+// New returns an empty solver with the baseline configuration.
+func New() *Solver { return NewWith(Config{}) }
+
+// NewWith returns an empty solver driven by cfg. Invalid configurations
+// panic: configs reach solvers through ParseConfig (which validates) or
+// as literals, where a bad value is a programming error.
+func NewWith(cfg Config) *Solver {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
 	s := &Solver{
-		ok:           true,
-		varInc:       1.0,
-		claInc:       1.0,
-		learntGrowth: 1.1,
+		ok:            true,
+		varInc:        1.0,
+		claInc:        1.0,
+		learntGrowth:  1.1,
+		cfg:           cfg,
+		rng:           cfg.rng(),
+		conflictLimit: cfg.ConflictBudget,
 	}
 	s.heap.activity = &s.activity
 	return s
 }
+
+// Config returns the solver's normalized configuration.
+func (s *Solver) Config() Config { return s.cfg }
+
+// Stats returns the cumulative counters accumulated across all Solve
+// and SolveAssuming calls so far (see the Stats type for the exact
+// semantics).
+func (s *Solver) Stats() Stats { return s.stats }
 
 // NewVar introduces a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
@@ -195,15 +256,65 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // 0 removes the bound. When exceeded, Solve returns Unknown.
 func (s *Solver) SetConflictLimit(n int64) { s.conflictLimit = n }
 
-// SetDeadline sets a wall-clock deadline checked periodically during
-// search; a zero time removes it. When exceeded, Solve returns Unknown.
-func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
+// SetDeadline sets a wall-clock deadline; a zero time removes it. When
+// exceeded, Solve returns Unknown.
+//
+// Deprecated: express wall-clock budgets through SetContext (wrap the
+// run context with context.WithDeadline). SetDeadline remains as a thin
+// wrapper that folds the deadline into the same context-based budget
+// check the search already performs.
+func (s *Solver) SetDeadline(t time.Time) {
+	s.deadline = t
+	s.recomputeCtx()
+}
 
-// SetContext attaches a context checked at the same points as the
-// deadline: once ctx is cancelled or its deadline passes (ctx.Err()
-// reports both), the current and any subsequent Solve calls return
-// Unknown. Passing nil detaches the context.
-func (s *Solver) SetContext(ctx context.Context) { s.ctx = ctx }
+// SetContext attaches a context to the solver: once ctx is cancelled or
+// its deadline passes (ctx.Err() reports both), the current and any
+// subsequent Solve calls return Unknown. Passing nil detaches the
+// context.
+func (s *Solver) SetContext(ctx context.Context) {
+	s.baseCtx = ctx
+	s.recomputeCtx()
+}
+
+// recomputeCtx folds the SetContext context and the deprecated
+// SetDeadline deadline into the single ctx consulted by budget checks.
+func (s *Solver) recomputeCtx() {
+	base := s.baseCtx
+	if s.deadline.IsZero() {
+		s.ctx = base
+		return
+	}
+	if base == nil {
+		base = context.Background()
+	}
+	s.ctx = deadlineContext{base, s.deadline}
+}
+
+// deadlineContext adds a lazily-checked wall-clock deadline to a parent
+// context without timer goroutines or cancel bookkeeping: the solver
+// polls Err(), never Done(), so checking the clock inside Err suffices.
+type deadlineContext struct {
+	context.Context
+	t time.Time
+}
+
+func (d deadlineContext) Deadline() (time.Time, bool) {
+	if p, ok := d.Context.Deadline(); ok && p.Before(d.t) {
+		return p, true
+	}
+	return d.t, true
+}
+
+func (d deadlineContext) Err() error {
+	if err := d.Context.Err(); err != nil {
+		return err
+	}
+	if time.Now().After(d.t) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
 
 func (s *Solver) litValue(l Lit) lbool {
 	v := s.value[l.Var()]
@@ -308,7 +419,7 @@ func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
-		s.Stats.Propagations++
+		s.stats.Propagations++
 		// Clauses watching ~p (now false) are registered under watches[p]
 		// per the attach convention watches[lit.Neg()].
 		falseLit := p.Neg()
@@ -394,7 +505,7 @@ func (s *Solver) varBump(v int) {
 	s.heap.update(v)
 }
 
-func (s *Solver) varDecay() { s.varInc /= 0.95 }
+func (s *Solver) varDecay() { s.varInc /= s.cfg.VarDecay }
 
 func (s *Solver) claBump(c *clause) {
 	c.activity += s.claInc
@@ -406,7 +517,7 @@ func (s *Solver) claBump(c *clause) {
 	}
 }
 
-func (s *Solver) claDecay() { s.claInc /= 0.999 }
+func (s *Solver) claDecay() { s.claInc /= s.cfg.ClauseDecay }
 
 // analyze performs first-UIP conflict analysis and returns the learnt
 // clause (asserting literal first) and the backtrack level.
@@ -528,7 +639,7 @@ func (s *Solver) reduceDB() {
 	for i, c := range cand {
 		if i < cut {
 			s.detach(c)
-			s.Stats.Removed++
+			s.stats.Removed++
 		} else {
 			kept = append(kept, c)
 		}
@@ -581,7 +692,7 @@ func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 	for {
 		confl := s.propagate()
 		if confl != nil {
-			s.Stats.Conflicts++
+			s.stats.Conflicts++
 			conflicts++
 			if s.decisionLevel() == 0 {
 				s.ok = false
@@ -597,7 +708,7 @@ func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 				s.attach(c)
 				s.claBump(c)
 				s.uncheckedEnqueue(learnt[0], c)
-				s.Stats.Learnt++
+				s.stats.Learnt++
 			}
 			s.varDecay()
 			s.claDecay()
@@ -639,8 +750,8 @@ func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 				s.model = append(s.model[:0], s.value...)
 				return Sat
 			}
-			s.Stats.Decisions++
-			next = MkLit(v, s.polarity[v])
+			s.stats.Decisions++
+			next = MkLit(v, s.decidePolarity(v))
 		}
 		s.newDecisionLevel()
 		s.uncheckedEnqueue(next, nil)
@@ -648,6 +759,15 @@ func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 }
 
 func (s *Solver) pickBranchVar() int {
+	// Seeded tie-breaking: with probability RandomFreq pick a uniformly
+	// random unassigned variable instead of the VSIDS top. The variable
+	// stays in the heap; pops skip assigned variables anyway.
+	if s.rng != nil && s.cfg.RandomFreq > 0 && len(s.value) > 0 &&
+		s.rng.Float64() < s.cfg.RandomFreq {
+		if v := s.rng.Intn(len(s.value)); s.value[v] == lUndef {
+			return v
+		}
+	}
 	for !s.heap.empty() {
 		v := s.heap.pop()
 		if s.value[v] == lUndef {
@@ -657,13 +777,32 @@ func (s *Solver) pickBranchVar() int {
 	return -1
 }
 
-// budgetExceeded is the per-decision check inside search. ctx.Err() takes
-// a mutex and time.Now() is a syscall, so both are rationed to every 256
-// calls — but by a dedicated poll counter, not the conflict count, so
-// cancellation is still noticed promptly on conflict-free instances.
-// SolveAssuming performs one unthrottled check on entry.
+// decidePolarity resolves the decision polarity of variable v per the
+// configured Phase heuristic. The returned value is the literal
+// negation flag: true assigns v false.
+func (s *Solver) decidePolarity(v int) bool {
+	switch s.cfg.Phase {
+	case PhaseFalse:
+		return true
+	case PhaseTrue:
+		return false
+	case PhaseRandom:
+		return s.rng.Intn(2) == 1
+	default:
+		return s.polarity[v]
+	}
+}
+
+// budgetExceeded is the per-decision check inside search. ctx.Err()
+// takes a mutex and (through deadlineContext) may read the clock, so the
+// check is rationed to every 256 calls — but by a dedicated poll
+// counter, not the conflict count, so cancellation is still noticed
+// promptly on conflict-free instances. SolveAssuming performs one
+// unthrottled check on entry. This is the single budget check: the
+// deprecated SetDeadline folds into s.ctx, so there is no separate
+// deadline bookkeeping.
 func (s *Solver) budgetExceeded() bool {
-	if s.conflictLimit > 0 && s.Stats.Conflicts >= s.conflictLimit {
+	if s.conflictLimit > 0 && s.stats.Conflicts >= s.conflictLimit {
 		return true
 	}
 	s.budgetPolls++
@@ -673,12 +812,9 @@ func (s *Solver) budgetExceeded() bool {
 	return false
 }
 
-// budgetExceededNow checks the wall-clock budgets without throttling.
+// budgetExceededNow checks the context budget without throttling.
 func (s *Solver) budgetExceededNow() bool {
-	if s.ctx != nil && s.ctx.Err() != nil {
-		return true
-	}
-	return !s.deadline.IsZero() && time.Now().After(s.deadline)
+	return s.ctx != nil && s.ctx.Err() != nil
 }
 
 // Solve determines satisfiability of the current clause set.
@@ -688,7 +824,7 @@ func (s *Solver) Solve() Status { return s.SolveAssuming(nil) }
 // literals. The assumptions hold only for this call. Clauses learned
 // during the call persist, making repeated calls incremental.
 func (s *Solver) SolveAssuming(assumptions []Lit) Status {
-	s.Stats.SolveCalls++
+	s.stats.SolveCalls++
 	if !s.ok {
 		return Unsat
 	}
@@ -703,22 +839,29 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 	}
 	baseConflicts := s.conflictLimit
 	if baseConflicts > 0 {
-		baseConflicts += s.Stats.Conflicts // limit is per call
+		baseConflicts += s.stats.Conflicts // limit is per call
 		defer func(prev int64) { s.conflictLimit = prev }(s.conflictLimit)
 		s.conflictLimit = baseConflicts
 	}
 	status := Unknown
+	geo := float64(s.cfg.RestartBase)
 	for restart := int64(1); status == Unknown; restart++ {
-		budget := luby(restart) * 100
+		var budget int64
+		if s.cfg.Restart == RestartGeometric {
+			budget = int64(geo)
+			geo *= s.cfg.RestartGrowth
+		} else {
+			budget = luby(restart) * int64(s.cfg.RestartBase)
+		}
 		status = s.search(budget, assumptions)
-		s.Stats.Restarts++
+		s.stats.Restarts++
 		// Restart boundaries are rare relative to in-search polls, so
 		// check the wall-clock budgets unthrottled here: the throttled
 		// budgetExceeded() would miss a cancellation 255/256 times and
 		// let the solver run a whole extra restart, making pool workers
 		// drain nondeterministically late.
 		if status == Unknown {
-			if (s.conflictLimit > 0 && s.Stats.Conflicts >= s.conflictLimit) || s.budgetExceededNow() {
+			if (s.conflictLimit > 0 && s.stats.Conflicts >= s.conflictLimit) || s.budgetExceededNow() {
 				break
 			}
 			s.maxLearnts *= s.learntGrowth

@@ -414,11 +414,12 @@ func TestStatsProgress(t *testing.T) {
 	s := New()
 	pigeonhole(s, 6, 5)
 	s.Solve()
-	if s.Stats.Conflicts == 0 || s.Stats.Decisions == 0 || s.Stats.Propagations == 0 {
-		t.Errorf("stats not collected: %+v", s.Stats)
+	st := s.Stats()
+	if st.Conflicts == 0 || st.Decisions == 0 || st.Propagations == 0 {
+		t.Errorf("stats not collected: %+v", st)
 	}
-	if s.Stats.SolveCalls != 1 {
-		t.Errorf("SolveCalls = %d", s.Stats.SolveCalls)
+	if st.SolveCalls != 1 {
+		t.Errorf("SolveCalls = %d", st.SolveCalls)
 	}
 }
 

@@ -10,10 +10,13 @@ import (
 type satAttack struct{}
 
 // New returns the SAT attack as an attack.Attack. Target.MaxIterations
-// caps distinguishing-input iterations. Target.Workers is ignored: each
-// distinguishing input depends on all previously learned constraints, so
-// the loop is inherently sequential (the parallel realization is the
-// partitioned key confirmation of keyconfirm.ConfirmParallel).
+// caps distinguishing-input iterations and Target.Solver selects the
+// engine behind the miter and extraction solvers. Target.Workers is
+// ignored: each distinguishing input depends on all previously learned
+// constraints, so the loop is inherently sequential (the parallel
+// realization is the partitioned key confirmation of
+// keyconfirm.ConfirmParallel) — per-query portfolio racing via
+// Target.Solver is how this attack uses extra cores.
 func New() attack.Attack { return satAttack{} }
 
 func (satAttack) Name() string      { return "sat" }
@@ -23,7 +26,7 @@ func (a satAttack) Run(ctx context.Context, tgt attack.Target) (*attack.Result, 
 	if err := attack.CheckTarget(a, tgt); err != nil {
 		return nil, err
 	}
-	res, err := Run(ctx, tgt.Locked, tgt.Oracle, Options{MaxIterations: tgt.MaxIterations})
+	res, err := Run(ctx, tgt.Locked, tgt.Oracle, Options{MaxIterations: tgt.MaxIterations, Solver: tgt.Solver})
 	if err != nil {
 		return nil, err
 	}

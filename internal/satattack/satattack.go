@@ -28,6 +28,9 @@ type Options struct {
 	// MaxIterations bounds distinguishing inputs queried (<= 0:
 	// unlimited). Wall-clock budgets come from the context.
 	MaxIterations int
+	// Solver builds the SAT engines (the miter solver Q and the
+	// key-extraction solver P); nil means default single engines.
+	Solver attack.SolverFactory
 }
 
 // Result reports a SAT attack run.
@@ -68,7 +71,7 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 	}
 
 	// Miter solver Q.
-	q := attack.NewSolver(ctx)
+	q := attack.NewEngine(ctx, opts.Solver)
 	qe := cnf.NewEncoder(q)
 	lits1 := qe.EncodeCircuitWith(locked, nil)
 	shared := make(map[int]sat.Lit, len(pis))
@@ -81,7 +84,7 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 	k2 := cnf.InputLits(keys, lits2)
 
 	// Key-extraction solver P accumulates I/O constraints on one key copy.
-	p := attack.NewSolver(ctx)
+	p := attack.NewEngine(ctx, opts.Solver)
 	pe := cnf.NewEncoder(p)
 	kp := make([]sat.Lit, len(keys))
 	givenP := make(map[int]sat.Lit, len(keys))
@@ -124,7 +127,7 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 	return res, nil
 }
 
-func extractKey(locked *circuit.Circuit, p *sat.Solver, kp []sat.Lit, keys []int, res *Result, start time.Time) (*Result, error) {
+func extractKey(locked *circuit.Circuit, p sat.Engine, kp []sat.Lit, keys []int, res *Result, start time.Time) (*Result, error) {
 	switch p.Solve() {
 	case sat.Unknown:
 		res.TimedOut = true

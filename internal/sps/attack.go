@@ -15,7 +15,9 @@ type spsAttack struct {
 
 // New returns the SPS attack as an attack.Attack. Target.Seed overrides
 // opts.Seed when non-zero. Target.Workers is ignored: one simulation
-// sweep dominates the runtime and is already bit-parallel.
+// sweep dominates the runtime and is already bit-parallel. Target.Solver
+// is ignored too — SPS is purely structural/simulation-based and never
+// constructs a SAT engine.
 func New(opts Options) attack.Attack { return &spsAttack{opts: opts} }
 
 func (s *spsAttack) Name() string      { return "sps" }
