@@ -42,8 +42,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 1000*time.Second, "attack time budget (0 = none)")
 		maxIter    = flag.Int("maxiter", 0, "iteration cap for iterative attacks (0 = unlimited)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for attacks that parallelize internally (1 = serial)")
-		solver     = flag.String("solver", "", "SAT engine configuration, e.g. seed=3,restart=geometric,phase=random (empty = baseline CDCL; see sat.ParseConfig)")
-		portfolio  = flag.Int("portfolio", 0, "race N differently-configured SAT engines per query, first verdict wins (<2 = single engine)")
+		solver     = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL; see sat.ParseEngineSpec)")
+		portfolio  = flag.String("portfolio", "", "race engines per query, first verdict wins: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
 		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON document on stdout (recovered netlists print as BENCH on stderr)")
 	)
 	flag.Parse()
@@ -65,8 +65,11 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	setup, err := attack.SolverSetupFromSpec(*solver, *portfolio)
+	setup, err := attack.SolverSetupFromFlags(*solver, *portfolio)
 	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := setup.Check(); err != nil {
 		fatalf("%v", err)
 	}
 	tgt := attack.Target{

@@ -6,13 +6,18 @@
 //	campaign plan   -dir camp -scale small -suites table1,summary
 //	campaign run    -dir camp -shard-index 0 -shard-count 4   # per machine
 //	campaign status -dir camp
+//	campaign retry  -dir camp                                 # recompute failures
 //	campaign merge  -dir camp                                 # render reports
 //
 // Shards partition the plan's cases disjointly and exhaustively for any
 // shard count, each shard writes artifacts atomically, and re-running a
 // shard (after a crash or kill) skips every case whose artifact already
-// exists. merge renders output byte-identical to a monolithic
-// cmd/fallbench run over the same measurements.
+// exists. retry deletes failed artifacts and recomputes exactly those
+// cases. merge renders output byte-identical to a monolithic
+// cmd/fallbench run over the same measurements, and — when the plan
+// raced solver engines — prints the aggregated per-engine win
+// statistics on stderr and persists them as DIR/portfolio_stats.json,
+// which a later `campaign run -learn-from` uses to seed its portfolio.
 //
 // Exit codes: 0 success; 1 hard error (stderr explains); 2 completed
 // with failed cases; 3 (status/merge -allow-partial) campaign
@@ -26,11 +31,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/genbench"
+	"repro/internal/sat"
 )
 
 func main() {
@@ -44,6 +52,8 @@ func main() {
 		cmdPlan(args)
 	case "run":
 		cmdRun(args)
+	case "retry":
+		cmdRetry(args)
 	case "merge":
 		cmdMerge(args)
 	case "status":
@@ -58,10 +68,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|merge|status> [flags]
+	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|retry|merge|status> [flags]
 
   plan    enumerate a campaign's cases into DIR/plan.json
   run     execute one shard, writing one artifact per completed case
+  retry   delete failed artifacts and recompute exactly those cases
   merge   reassemble artifacts into the Table I / Fig. 5 / Fig. 6 /
           summary reports (byte-identical to a monolithic run)
   status  show per-suite completion counts
@@ -108,8 +119,9 @@ func cmdPlan(args []string) {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-attack time budget")
 	iterCap := fs.Int("satcap", 500, "SAT attack iteration cap (0 = none)")
 	enc := fs.String("enc", "adder", "cardinality encoding: adder | seq")
-	solver := fs.String("solver", "", "SAT engine configuration for every attack and scoring miter (empty = baseline CDCL)")
-	portfolio := fs.Int("portfolio", 0, "race N differently-configured SAT engines per solver query (<2 = single engine)")
+	solver := fs.String("solver", "", "solver engine spec for every attack and scoring miter (empty = baseline CDCL)")
+	portfolio := fs.String("portfolio", "", "race engines per solver query: integer width or engine list like internal,kissat,bdd")
+	adaptAfter := fs.Int64("adapt-after", 0, "retire an engine mid-run after it loses this many races without a win (0 = never)")
 	suites := fs.String("suites", strings.Join(campaign.DefaultSuites(), ","), "report suites, comma-separated")
 	force := fs.Bool("force", false, "overwrite an existing, different plan")
 	fs.Parse(args)
@@ -123,8 +135,17 @@ func cmdPlan(args []string) {
 		SATIterCap: *iterCap,
 		Enc:        *enc,
 		Solver:     *solver,
-		Portfolio:  *portfolio,
+		AdaptAfter: *adaptAfter,
 		Suites:     strings.Split(*suites, ","),
+	}
+	// An integer -portfolio keeps the legacy field (and plan hash); an
+	// engine list lands in the heterogeneous field.
+	if p := strings.TrimSpace(*portfolio); p != "" {
+		if n, err := strconv.Atoi(p); err == nil {
+			cfg.Portfolio = n
+		} else {
+			cfg.PortfolioEngines = p
+		}
 	}
 	var err error
 	if cfg.Specs, err = genbench.ParseScale(*scale); err != nil {
@@ -157,23 +178,49 @@ func cmdPlan(args []string) {
 	fmt.Fprintf(os.Stderr, "campaign: planned %d cases into %s (hash %.12s…)\n", len(p.Cases), path, p.Hash)
 }
 
-func cmdRun(args []string) {
-	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
+// runFlags declares the flags shared by run and retry on fs.
+func runFlags(fs *flag.FlagSet) (shardIndex, shardCount, workers *int, quiet *bool, learnFrom *string) {
+	shardIndex = fs.Int("shard-index", 0, "this shard's index in [0, shard-count)")
+	shardCount = fs.Int("shard-count", 1, "total number of shards")
+	workers = fs.Int("workers", runtime.GOMAXPROCS(0), "cases run concurrently (1 = serial)")
+	quiet = fs.Bool("quiet", false, "suppress per-case progress lines")
+	learnFrom = fs.String("learn-from", "", "portfolio-stats JSON (e.g. a prior merge's portfolio_stats.json); reorders/prunes the racing engines")
+	return
+}
+
+func runShard(name string, args []string, retry bool) {
+	fs := flag.NewFlagSet("campaign "+name, flag.ExitOnError)
 	dir, artifacts := dirFlags(fs)
-	shardIndex := fs.Int("shard-index", 0, "this shard's index in [0, shard-count)")
-	shardCount := fs.Int("shard-count", 1, "total number of shards")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "cases run concurrently (1 = serial)")
-	quiet := fs.Bool("quiet", false, "suppress per-case progress lines")
+	shardIndex, shardCount, workers, quiet, learnFrom := runFlags(fs)
 	fs.Parse(args)
 	p := loadPlan(*dir)
 	dirs := artifactDirs(*dir, *artifacts)
 	if len(dirs) != 1 {
-		fatalf("run writes to exactly one artifact directory, got %d", len(dirs))
+		fatalf("%s writes to exactly one artifact directory, got %d", name, len(dirs))
+	}
+	if retry {
+		// Delete only this shard's failures: the subsequent Run recomputes
+		// exactly this shard's missing cases, so deleting plan-wide would
+		// orphan other shards' cases.
+		count := *shardCount
+		if count == 0 {
+			count = 1
+		}
+		idxs, err := p.ShardIndices(*shardIndex, count)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		deleted, err := campaign.DeleteFailed(p, dirs[0], idxs)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "campaign: retry: deleted %d failed artifact(s)\n", len(deleted))
 	}
 	opts := campaign.RunOptions{
 		ShardIndex: *shardIndex,
 		ShardCount: *shardCount,
 		Workers:    *workers,
+		LearnFrom:  *learnFrom,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
@@ -189,10 +236,17 @@ func cmdRun(args []string) {
 	}
 }
 
+func cmdRun(args []string) { runShard("run", args, false) }
+
+// cmdRetry deletes this plan's failed artifacts and recomputes exactly
+// those cases (resume semantics keep every healthy artifact untouched).
+func cmdRetry(args []string) { runShard("retry", args, true) }
+
 func cmdMerge(args []string) {
 	fs := flag.NewFlagSet("campaign merge", flag.ExitOnError)
 	dir, artifacts := dirFlags(fs)
 	allowPartial := fs.Bool("allow-partial", false, "render even if some cases have no artifact yet")
+	statsOut := fs.String("stats-out", "", "portfolio-stats JSON path (default DIR/portfolio_stats.json; \"-\" disables)")
 	fs.Parse(args)
 	p := loadPlan(*dir)
 	m, err := campaign.Merge(p, artifactDirs(*dir, *artifacts))
@@ -205,6 +259,20 @@ func cmdMerge(args []string) {
 	}
 	if err := m.Render(os.Stdout); err != nil {
 		fatalf("%v", err)
+	}
+	// Racing statistics stay off stdout so merges diff byte-identical
+	// against monolithic fallbench runs; the JSON snapshot feeds
+	// `campaign run -learn-from` on the next campaign.
+	if stats := m.WinStats(); len(stats) > 0 && *statsOut != "-" {
+		attack.FprintStats(os.Stderr, stats)
+		path := *statsOut
+		if path == "" {
+			path = filepath.Join(*dir, "portfolio_stats.json")
+		}
+		if err := sat.WriteStatsFile(path, stats); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "campaign: per-engine win statistics written to %s\n", path)
 	}
 	switch {
 	case len(m.Failed) > 0:

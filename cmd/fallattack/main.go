@@ -32,8 +32,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 1000*time.Second, "attack time budget (0 = none)")
 		enc       = flag.String("enc", "adder", "cardinality encoding: adder | seq")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "candidate analyses run concurrently (1 = serial; shortlist is identical either way)")
-		solver    = flag.String("solver", "", "SAT engine configuration, e.g. seed=3,restart=geometric (empty = baseline CDCL)")
-		portfolio = flag.Int("portfolio", 0, "race N differently-configured SAT engines per analysis query (<2 = single engine)")
+		solver    = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL)")
+		portfolio = flag.String("portfolio", "", "race engines per analysis query: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -80,8 +80,11 @@ func main() {
 		defer cancel()
 	}
 
-	setup, err := attack.SolverSetupFromSpec(*solver, *portfolio)
+	setup, err := attack.SolverSetupFromFlags(*solver, *portfolio)
 	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := setup.Check(); err != nil {
 		fatalf("%v", err)
 	}
 	out, err := fall.New(opts).Run(ctx, attack.Target{Locked: locked, H: *h, Workers: *workers, Solver: setup.Factory()})

@@ -13,15 +13,28 @@
 //	-timeout 5s    per-attack budget (paper: 1000 s)
 //	-workers N     suite cases run concurrently (default: all cores;
 //	               output is identical for every worker count)
-//	-solver SPEC   SAT engine configuration (sat.ParseConfig syntax)
-//	-portfolio N   race N configured engines per solver query
-//	               (decided verdicts are identical for every width)
+//	-solver SPEC   solver engine spec: an internal config
+//	               (seed=3,restart=geometric), an external DIMACS
+//	               solver (kissat, process:cmd=/path), or the BDD
+//	               engine (bdd:max-nodes=1<<20)
+//	-portfolio P   race engines per solver query: an integer derives N
+//	               internal variants, a list (internal,kissat,bdd)
+//	               races heterogeneous backends; decided verdicts are
+//	               identical for every mix
+//	-learn-from F  reorder/prune the engine list from a prior run's
+//	               portfolio-stats file before racing
+//	-adapt-after N retire an engine mid-run once it has lost N races
+//	               without a win
+//	-stats-out F   persist the aggregated per-engine win statistics as
+//	               JSON (feeds -learn-from of a later run)
 //
-// Results go to stdout, diagnostics to stderr. The exit code is 0 on
-// success, 1 on a hard error, and 2 when some attack runs failed (their
-// rows are still printed). To split a run across machines, use
-// cmd/campaign with the same flags — a merged campaign renders
-// byte-identical output to this command.
+// Results go to stdout, diagnostics — including the aggregated
+// per-engine portfolio win statistics — to stderr, so racing runs diff
+// clean against single-engine runs. The exit code is 0 on success, 1 on
+// a hard error, and 2 when some attack runs failed (their rows are
+// still printed). To split a run across machines, use cmd/campaign with
+// the same flags — a merged campaign renders byte-identical output to
+// this command.
 package main
 
 import (
@@ -32,6 +45,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/cnf"
 	"repro/internal/exp"
 	"repro/internal/genbench"
@@ -40,22 +54,25 @@ import (
 
 func main() {
 	var (
-		table1    = flag.Bool("table1", false, "regenerate Table I")
-		fig5      = flag.String("fig5", "", "regenerate a Fig. 5 panel: hd0 | h8 | h4 | h3")
-		fig6      = flag.Bool("fig6", false, "regenerate Fig. 6")
-		summary   = flag.Bool("summary", false, "regenerate the §VI-B summary statistics")
-		scale     = flag.String("scale", "small", "experiment scale: paper | medium | small | tiny")
-		timeout   = flag.Duration("timeout", 5*time.Second, "per-attack time budget")
-		iterCap   = flag.Int("satcap", 500, "SAT attack iteration cap (0 = none)")
-		seed      = flag.Int64("seed", 2019, "base seed")
-		enc       = flag.String("enc", "adder", "cardinality encoding: adder | seq")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "suite cases run concurrently (1 = serial; output is identical either way)")
-		solver    = flag.String("solver", "", "SAT engine configuration for every attack and scoring miter (empty = baseline CDCL)")
-		portfolio = flag.Int("portfolio", 0, "race N differently-configured SAT engines per solver query (<2 = single engine; decided verdicts are identical either way)")
+		table1     = flag.Bool("table1", false, "regenerate Table I")
+		fig5       = flag.String("fig5", "", "regenerate a Fig. 5 panel: hd0 | h8 | h4 | h3")
+		fig6       = flag.Bool("fig6", false, "regenerate Fig. 6")
+		summary    = flag.Bool("summary", false, "regenerate the §VI-B summary statistics")
+		scale      = flag.String("scale", "small", "experiment scale: paper | medium | small | tiny")
+		timeout    = flag.Duration("timeout", 5*time.Second, "per-attack time budget")
+		iterCap    = flag.Int("satcap", 500, "SAT attack iteration cap (0 = none)")
+		seed       = flag.Int64("seed", 2019, "base seed")
+		enc        = flag.String("enc", "adder", "cardinality encoding: adder | seq")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "suite cases run concurrently (1 = serial; output is identical either way)")
+		solver     = flag.String("solver", "", "solver engine spec for every attack and scoring miter (empty = baseline CDCL)")
+		portfolio  = flag.String("portfolio", "", "race engines per solver query: integer width or engine list like internal,kissat,bdd")
+		learnFrom  = flag.String("learn-from", "", "portfolio-stats JSON from a prior run; reorders/prunes the engine list before racing")
+		adaptAfter = flag.Int64("adapt-after", 0, "retire an engine mid-run after it loses this many races without a win (0 = never)")
+		statsOut   = flag.String("stats-out", "", "write the aggregated per-engine win statistics to this JSON file")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Timeout: *timeout, SATIterCap: *iterCap, Workers: *workers, Portfolio: *portfolio}
+	cfg := exp.Config{Seed: *seed, Timeout: *timeout, SATIterCap: *iterCap, Workers: *workers}
 	var err error
 	if cfg.Specs, err = genbench.ParseScale(*scale); err != nil {
 		fatalf("%v", err)
@@ -63,10 +80,26 @@ func main() {
 	if cfg.Enc, err = cnf.ParseCardEncoding(*enc); err != nil {
 		fatalf("%v", err)
 	}
-	if *solver != "" {
-		if cfg.Solver, err = sat.ParseConfig(*solver); err != nil {
+	if err := cfg.ApplySolverFlags(*solver, *portfolio); err != nil {
+		fatalf("%v", err)
+	}
+	cfg.AdaptAfter = *adaptAfter
+	if len(cfg.Engines) > 0 {
+		if *learnFrom != "" {
+			prior, err := sat.ReadStatsFile(*learnFrom)
+			if err != nil {
+				fatalf("learn-from: %v", err)
+			}
+			cfg.Engines = sat.LearnedConfigs(cfg.Engines, prior, *adaptAfter)
+		}
+		if err := attack.NewSolverSetupEngines(cfg.Engines).Check(); err != nil {
 			fatalf("%v", err)
 		}
+		if *adaptAfter > 0 {
+			cfg.Adapt = sat.NewLedgerLabels(sat.EngineLabels(cfg.Engines))
+		}
+	} else if *adaptAfter > 0 || *learnFrom != "" {
+		fatalf("-adapt-after/-learn-from need a -portfolio engine list to act on")
 	}
 
 	var level exp.HLevel
@@ -88,6 +121,8 @@ func main() {
 	}
 
 	failed := 0
+	var allOuts []exp.Outcome
+	var allFigs []exp.Fig6CaseResult
 	if *table1 {
 		rows, err := exp.Table1FromCases(cases, cfg)
 		if err != nil {
@@ -104,6 +139,7 @@ func main() {
 				failed++
 			}
 		}
+		allOuts = append(allOuts, outs...)
 		fmt.Print(exp.FormatCactus(outs, exp.Fig5AttackNames(level)))
 	}
 	if *fig6 {
@@ -114,13 +150,26 @@ func main() {
 				failed++
 			}
 		}
+		allFigs = append(allFigs, results...)
 		fmt.Print(exp.FormatFig6(exp.AggregateFig6(results)))
 	}
 	if *summary {
 		fmt.Println("=== §VI-B summary ===")
-		s := exp.Summarize(ctx, cases, cfg)
+		outs := exp.SummaryOutcomes(ctx, cases, cfg)
+		s := exp.AggregateSummary(outs)
 		failed += s.Failed
+		allOuts = append(allOuts, outs...)
 		fmt.Print(exp.FormatSummary(s))
+	}
+	// Racing statistics go to stderr: stdout must stay verdict-only so
+	// portfolio runs diff byte-identical against single-engine runs.
+	if stats := exp.WinStats(allOuts, allFigs); len(stats) > 0 {
+		attack.FprintStats(os.Stderr, stats)
+		if *statsOut != "" {
+			if err := sat.WriteStatsFile(*statsOut, stats); err != nil {
+				fatalf("stats-out: %v", err)
+			}
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "fallbench: %d attack run(s) failed\n", failed)

@@ -31,8 +31,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 1000*time.Second, "time budget (0 = none)")
 		pureAlg4   = flag.Bool("pure", false, "disable the double-DIP acceleration (paper Algorithm 4 verbatim)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "key-space partitions searched concurrently in phi=true mode (1 = serial)")
-		solver     = flag.String("solver", "", "SAT engine configuration, e.g. seed=3,restart=geometric (empty = baseline CDCL)")
-		portfolio  = flag.Int("portfolio", 0, "race N differently-configured SAT engines per query (<2 = single engine)")
+		solver     = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL)")
+		portfolio  = flag.String("portfolio", "", "race engines per query: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
 	)
 	flag.Parse()
 	if *lockedPath == "" || *oraclePath == "" {
@@ -59,8 +59,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	setup, err := attack.SolverSetupFromSpec(*solver, *portfolio)
+	setup, err := attack.SolverSetupFromFlags(*solver, *portfolio)
 	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := setup.Check(); err != nil {
 		fatalf("%v", err)
 	}
 	atk := keyconfirm.New(keyconfirm.Options{DisableDoubleDIP: *pureAlg4})

@@ -3,7 +3,6 @@ package attack
 import (
 	"context"
 	"fmt"
-	"io"
 	"sync"
 	"sync/atomic"
 
@@ -86,106 +85,6 @@ func NewEngine(ctx context.Context, f SolverFactory) sat.Engine {
 		return NewSolver(ctx)
 	}
 	return f(ctx)
-}
-
-// SolverSetup bundles a solver configuration and a portfolio width into
-// a SolverFactory, and — when racing — accumulates per-config win
-// statistics across every engine the factory builds. One setup
-// typically spans one attack run (or one harness case), so its WinStats
-// describe that run.
-type SolverSetup struct {
-	// Base is the engine configuration (the zero value is the baseline
-	// CDCL configuration).
-	Base sat.Config
-	// Portfolio is the number of racing engines per solver instance;
-	// values below 2 select a single engine.
-	Portfolio int
-
-	configs []sat.Config
-	ledger  *sat.Ledger
-}
-
-// NewSolverSetup derives the portfolio configs (sat.PortfolioConfigs)
-// and win-stats ledger for the requested width.
-func NewSolverSetup(base sat.Config, portfolio int) *SolverSetup {
-	s := &SolverSetup{Base: base, Portfolio: portfolio}
-	if portfolio >= 2 {
-		s.configs = sat.PortfolioConfigs(base, portfolio)
-		s.ledger = sat.NewLedger(s.configs)
-	}
-	return s
-}
-
-// Factory returns the SolverFactory realizing the setup; a nil setup
-// yields a nil factory (the default engine). The factory is safe for
-// concurrent use: portfolios built by different workers share the
-// setup's ledger, which is mutex-guarded.
-func (s *SolverSetup) Factory() SolverFactory {
-	if s == nil {
-		return nil
-	}
-	return func(ctx context.Context) sat.Engine {
-		if s.Portfolio >= 2 {
-			p := sat.NewPortfolio(s.configs, s.ledger)
-			p.SetContext(ctx)
-			return p
-		}
-		e := sat.NewWith(s.Base)
-		if ctx != nil {
-			e.SetContext(ctx)
-		}
-		return e
-	}
-}
-
-// SolverSetupFromSpec resolves a CLI -solver/-portfolio flag pair: the
-// spec is parsed with sat.ParseConfig, and both flags unset yield a nil
-// setup (the attacks' built-in default engine).
-func SolverSetupFromSpec(spec string, portfolio int) (*SolverSetup, error) {
-	if spec == "" && portfolio < 2 {
-		return nil, nil
-	}
-	cfg, err := sat.ParseConfig(spec)
-	if err != nil {
-		return nil, err
-	}
-	return NewSolverSetup(cfg, portfolio), nil
-}
-
-// FprintWinStats writes one racing-statistics line per portfolio
-// config (no-op for nil or non-racing setups) — the shared rendering
-// of the attack CLIs' stderr reports.
-func (s *SolverSetup) FprintWinStats(w io.Writer) {
-	for _, cs := range s.WinStats() {
-		fmt.Fprintf(w, "portfolio %-44s races %4d wins %4d (sat %d, unsat %d) conflicts %d\n",
-			cs.Config, cs.Races, cs.Wins, cs.SatWins, cs.UnsatWins, cs.Conflicts)
-	}
-}
-
-// WinStats returns the per-config portfolio statistics accumulated so
-// far; nil when the setup does not race (nothing to account).
-func (s *SolverSetup) WinStats() []sat.ConfigStats {
-	if s == nil || s.ledger == nil {
-		return nil
-	}
-	return s.ledger.Snapshot()
-}
-
-// Label returns a human/artifact-readable description of the setup:
-// "" for the all-default single engine (so serialized outcomes stay
-// byte-identical to pre-portfolio ones), the config spec for a
-// non-default single engine, and "portfolio(N) of <spec>" when racing.
-func (s *SolverSetup) Label() string {
-	if s == nil {
-		return ""
-	}
-	if s.Portfolio >= 2 {
-		return fmt.Sprintf("portfolio(%d) of %s", s.Portfolio, s.Base.String())
-	}
-	if s.Base != (sat.Config{}) && s.Base != sat.DefaultConfig() {
-		return s.Base.String()
-	}
-	return ""
 }
 
 // KeyGiven maps key-input node ids to their encoded literals, in the form

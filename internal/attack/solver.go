@@ -1,0 +1,260 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+
+	"repro/internal/sat"
+	"repro/internal/sat/bddengine"
+	"repro/internal/sat/procengine"
+)
+
+// This file is the construction point of the heterogeneous solver
+// system: sat holds the spec grammar (pure data), the backend packages
+// hold the engines, and SolverSetup — the only place that imports all
+// of them — turns parsed specs into SolverFactory closures, shares win
+// ledgers across every engine a run builds, and applies the adaptive
+// drop rule that retires chronically losing engines mid-campaign.
+
+// SolverSetup bundles a solver configuration into a SolverFactory, and
+// — when racing — accumulates per-engine win statistics across every
+// engine the factory builds. One setup typically spans one attack run
+// (or one harness case), so its WinStats describe that run.
+//
+// Two construction paths exist. NewSolverSetup (Base + Portfolio) is
+// the pre-heterogeneous form: N internal configurations derived by
+// sat.PortfolioConfigs. NewSolverSetupEngines (Specs) races an explicit
+// engine-spec list — internal configs, external DIMACS solvers, the
+// BDD engine — parsed from the -solver/-portfolio grammar.
+type SolverSetup struct {
+	// Base is the engine configuration (the zero value is the baseline
+	// CDCL configuration). Meaningful on the legacy path only.
+	Base sat.Config
+	// Portfolio is the number of racing engines per solver instance;
+	// values below 2 select a single engine. Legacy path only.
+	Portfolio int
+	// Specs, when non-empty, is the heterogeneous engine list; it
+	// overrides Base/Portfolio.
+	Specs []sat.EngineSpec
+	// AdaptAfter retires an engine spec from subsequently built
+	// portfolios once it has raced this many times without a single win
+	// while some other spec has won (0 = never retire). Dropping only
+	// redistributes racing effort — every surviving engine decides the
+	// same formulas — so verdicts are unaffected.
+	AdaptAfter int64
+	// Global, when non-nil, is a cross-run ledger (slots matching Specs)
+	// that also accumulates every race and, when set, drives the
+	// AdaptAfter decision — so losses observed in earlier cases of a
+	// campaign shard retire an engine for later ones.
+	Global *sat.Ledger
+
+	configs []sat.Config
+	ledger  *sat.Ledger
+}
+
+// NewSolverSetup derives the portfolio configs (sat.PortfolioConfigs)
+// and win-stats ledger for the requested width — the legacy
+// homogeneous path, byte-compatible with pre-heterogeneous artifacts.
+func NewSolverSetup(base sat.Config, portfolio int) *SolverSetup {
+	s := &SolverSetup{Base: base, Portfolio: portfolio}
+	if portfolio >= 2 {
+		s.configs = sat.PortfolioConfigs(base, portfolio)
+		s.ledger = sat.NewLedger(s.configs)
+	}
+	return s
+}
+
+// NewSolverSetupEngines builds a setup racing the given engine specs
+// (a single spec selects that engine without racing or accounting).
+func NewSolverSetupEngines(specs []sat.EngineSpec) *SolverSetup {
+	s := &SolverSetup{Specs: specs}
+	if len(specs) >= 2 {
+		s.ledger = sat.NewLedgerLabels(sat.EngineLabels(specs))
+	}
+	return s
+}
+
+// Check verifies the setup is runnable on this machine — every
+// process-engine binary resolves on PATH. Entry points call it once so
+// a missing solver fails fast instead of surfacing as a stream of
+// Unknown verdicts.
+func (s *SolverSetup) Check() error {
+	if s == nil {
+		return nil
+	}
+	for _, spec := range s.Specs {
+		if spec.Kind == sat.EngineProcess {
+			if _, err := exec.LookPath(spec.Cmd); err != nil {
+				return fmt.Errorf("attack: solver %q not found: %w", spec.Cmd, err)
+			}
+		}
+	}
+	return nil
+}
+
+// buildEngine constructs one backend engine for a spec, bound to ctx.
+func buildEngine(ctx context.Context, spec sat.EngineSpec) sat.Engine {
+	var e sat.Engine
+	switch spec.Kind {
+	case sat.EngineProcess:
+		e = procengine.New(spec.Cmd)
+	case sat.EngineBDD:
+		e = bddengine.New(spec.MaxNodes)
+	default:
+		e = sat.NewWith(spec.Config)
+	}
+	if ctx != nil {
+		e.SetContext(ctx)
+	}
+	return e
+}
+
+// activeSlots returns the Specs indices still worth racing under the
+// AdaptAfter rule, always at least one.
+func (s *SolverSetup) activeSlots() []int {
+	all := make([]int, len(s.Specs))
+	for i := range all {
+		all[i] = i
+	}
+	led := s.Global
+	if led == nil {
+		led = s.ledger
+	}
+	if s.AdaptAfter <= 0 || led == nil {
+		return all
+	}
+	act := led.Active(s.AdaptAfter)
+	keep := all[:0]
+	for i, a := range act {
+		if i < len(s.Specs) && a {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		return all
+	}
+	return keep
+}
+
+// Factory returns the SolverFactory realizing the setup; a nil setup
+// yields a nil factory (the default engine). The factory is safe for
+// concurrent use: portfolios built by different workers share the
+// setup's ledger, which is mutex-guarded.
+func (s *SolverSetup) Factory() SolverFactory {
+	if s == nil {
+		return nil
+	}
+	if len(s.Specs) > 0 {
+		return func(ctx context.Context) sat.Engine {
+			active := s.activeSlots()
+			if len(s.Specs) == 1 {
+				return buildEngine(ctx, s.Specs[0])
+			}
+			engines := make([]sat.Engine, len(active))
+			for i, slot := range active {
+				engines[i] = buildEngine(ctx, s.Specs[slot])
+			}
+			p := sat.NewEnginePortfolio(engines, s.ledger, s.Global)
+			p.SetLedgerSlots(active)
+			p.SetContext(ctx)
+			return p
+		}
+	}
+	return func(ctx context.Context) sat.Engine {
+		if s.Portfolio >= 2 {
+			p := sat.NewPortfolio(s.configs, s.ledger)
+			p.SetContext(ctx)
+			return p
+		}
+		e := sat.NewWith(s.Base)
+		if ctx != nil {
+			e.SetContext(ctx)
+		}
+		return e
+	}
+}
+
+// SolverSetupFromSpec resolves a legacy -solver/-portfolio flag pair:
+// the spec is parsed with sat.ParseConfig, and both flags unset yield a
+// nil setup (the attacks' built-in default engine).
+func SolverSetupFromSpec(spec string, portfolio int) (*SolverSetup, error) {
+	if spec == "" && portfolio < 2 {
+		return nil, nil
+	}
+	cfg, err := sat.ParseConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewSolverSetup(cfg, portfolio), nil
+}
+
+// SolverSetupFromFlags resolves the full -solver/-portfolio flag
+// grammar (sat.ResolveSolverFlags): an integer -portfolio derives N
+// internal variants of the -solver base config, an engine list races
+// heterogeneous backends. Both flags unset (or width < 2 with a
+// default solver) yield a nil setup: the attacks' built-in default
+// engine, byte-identical to not passing the flags at all.
+func SolverSetupFromFlags(solver, portfolio string) (*SolverSetup, error) {
+	base, width, specs, err := sat.ResolveSolverFlags(solver, portfolio)
+	if err != nil {
+		return nil, err
+	}
+	if specs != nil {
+		return NewSolverSetupEngines(specs), nil
+	}
+	if solver == "" && width < 2 {
+		return nil, nil
+	}
+	return NewSolverSetup(base, width), nil
+}
+
+// FprintStats writes one racing-statistics line per engine — the
+// shared rendering of the CLIs' stderr reports.
+func FprintStats(w io.Writer, stats []sat.ConfigStats) {
+	for _, cs := range stats {
+		fmt.Fprintf(w, "portfolio %-44s races %4d wins %4d (sat %d, unsat %d) conflicts %d\n",
+			cs.Config, cs.Races, cs.Wins, cs.SatWins, cs.UnsatWins, cs.Conflicts)
+	}
+}
+
+// FprintWinStats writes the setup's racing statistics (no-op for nil
+// or non-racing setups).
+func (s *SolverSetup) FprintWinStats(w io.Writer) {
+	FprintStats(w, s.WinStats())
+}
+
+// WinStats returns the per-engine portfolio statistics accumulated so
+// far; nil when the setup does not race (nothing to account).
+func (s *SolverSetup) WinStats() []sat.ConfigStats {
+	if s == nil || s.ledger == nil {
+		return nil
+	}
+	return s.ledger.Snapshot()
+}
+
+// Label returns a human/artifact-readable description of the setup:
+// "" for the all-default single engine (so serialized outcomes stay
+// byte-identical to pre-portfolio ones), the engine spec for a single
+// non-default engine, "portfolio(N) of <spec>" for derived-width
+// racing, and "portfolio(<spec> | ...)" for heterogeneous racing.
+func (s *SolverSetup) Label() string {
+	if s == nil {
+		return ""
+	}
+	if len(s.Specs) > 0 {
+		if len(s.Specs) == 1 {
+			return s.Specs[0].String()
+		}
+		return fmt.Sprintf("portfolio(%s)", strings.Join(sat.EngineLabels(s.Specs), " | "))
+	}
+	if s.Portfolio >= 2 {
+		return fmt.Sprintf("portfolio(%d) of %s", s.Portfolio, s.Base.String())
+	}
+	if s.Base != (sat.Config{}) && s.Base != sat.DefaultConfig() {
+		return s.Base.String()
+	}
+	return ""
+}

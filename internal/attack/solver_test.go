@@ -1,0 +1,203 @@
+package attack
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+func TestSolverSetupFromFlags(t *testing.T) {
+	// Both unset: nil setup (the default engine).
+	s, err := SolverSetupFromFlags("", "")
+	if err != nil || s != nil {
+		t.Fatalf("unset flags: %+v, %v", s, err)
+	}
+	// Legacy integer width over an internal base.
+	s, err = SolverSetupFromFlags("seed=3,restart=geometric", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Portfolio != 3 || s.Base.Seed != 3 || len(s.Specs) != 0 {
+		t.Errorf("legacy form: %+v", s)
+	}
+	if !strings.HasPrefix(s.Label(), "portfolio(3) of ") {
+		t.Errorf("legacy label: %q", s.Label())
+	}
+	// "0"/"1" widths with a default solver collapse to nil too.
+	if s, err = SolverSetupFromFlags("", "1"); err != nil || s != nil {
+		t.Errorf("width 1, default solver: %+v, %v", s, err)
+	}
+	// Single non-internal engine via -solver.
+	s, err = SolverSetupFromFlags("bdd:max-nodes=4096", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Specs) != 1 || s.Specs[0].Kind != sat.EngineBDD || s.Label() != "bdd:max-nodes=4096" {
+		t.Errorf("bdd solver: %+v label %q", s, s.Label())
+	}
+	if s.WinStats() != nil {
+		t.Error("single engine must not account")
+	}
+	// Heterogeneous list; bare internal inherits the -solver base.
+	s, err = SolverSetupFromFlags("seed=5", "internal,bdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Specs) != 2 || s.Specs[0].Config.Seed != 5 || s.Specs[1].Kind != sat.EngineBDD {
+		t.Errorf("list form: %+v", s.Specs)
+	}
+	if !strings.HasPrefix(s.Label(), "portfolio(") || !strings.Contains(s.Label(), "bdd") {
+		t.Errorf("list label: %q", s.Label())
+	}
+	// Errors: deriving variants of an external engine, non-internal base
+	// with a list, bad grammar.
+	for _, bad := range [][2]string{
+		{"kissat", "3"},
+		{"kissat", "internal,bdd"},
+		{"frobnicate=1", ""},
+		{"", "internal,frobnicate=1"},
+		{"", "internal,bdd:nodes=x"},
+		{"", "internal,internal"},
+	} {
+		if s, err := SolverSetupFromFlags(bad[0], bad[1]); err == nil {
+			t.Errorf("flags %q/%q accepted: %+v", bad[0], bad[1], s)
+		}
+	}
+}
+
+func TestSolverSetupCheck(t *testing.T) {
+	var nilSetup *SolverSetup
+	if err := nilSetup.Check(); err != nil {
+		t.Errorf("nil setup: %v", err)
+	}
+	ok := NewSolverSetupEngines([]sat.EngineSpec{sat.InternalSpec(sat.Config{}), {Kind: sat.EngineBDD}})
+	if err := ok.Check(); err != nil {
+		t.Errorf("no process engines: %v", err)
+	}
+	missing := NewSolverSetupEngines([]sat.EngineSpec{{Kind: sat.EngineProcess, Cmd: "definitely-not-a-sat-solver-7f3a"}})
+	if err := missing.Check(); err == nil {
+		t.Error("missing binary not reported")
+	}
+}
+
+// loadPigeonhole fills an engine with an UNSAT pigeonhole instance.
+func loadPigeonhole(e sat.Engine, p, h int) {
+	v := make([][]int, p)
+	for i := range v {
+		v[i] = make([]int, h)
+		for j := range v[i] {
+			v[i][j] = e.NewVar()
+		}
+	}
+	for i := 0; i < p; i++ {
+		lits := make([]sat.Lit, h)
+		for j := 0; j < h; j++ {
+			lits[j] = sat.PosLit(v[i][j])
+		}
+		e.AddClause(lits...)
+	}
+	for j := 0; j < h; j++ {
+		for i1 := 0; i1 < p; i1++ {
+			for i2 := i1 + 1; i2 < p; i2++ {
+				e.AddClause(sat.NegLit(v[i1][j]), sat.NegLit(v[i2][j]))
+			}
+		}
+	}
+}
+
+// TestHeterogeneousFactoryVerdicts: a specs-path factory builds racing
+// portfolios whose verdicts match the internal engine, and accounts
+// races into the setup ledger under spec labels.
+func TestHeterogeneousFactoryVerdicts(t *testing.T) {
+	setup := NewSolverSetupEngines([]sat.EngineSpec{
+		sat.InternalSpec(sat.Config{}),
+		{Kind: sat.EngineBDD, MaxNodes: 1 << 18},
+	})
+	f := setup.Factory()
+	e := f(context.Background())
+	loadPigeonhole(e, 5, 4)
+	if got := e.Solve(); got != sat.Unsat {
+		t.Fatalf("verdict %v, want UNSAT", got)
+	}
+	stats := setup.WinStats()
+	if len(stats) != 2 || stats[0].Config != "seed=0" || stats[1].Config != "bdd:max-nodes=262144" {
+		t.Fatalf("stats labels: %+v", stats)
+	}
+	if stats[0].Races+stats[1].Races == 0 || stats[0].Wins+stats[1].Wins != 1 {
+		t.Errorf("accounting: %+v", stats)
+	}
+}
+
+// TestAdaptiveDrop: an engine that keeps losing is retired from newly
+// built portfolios after AdaptAfter races, and its ledger slot stays in
+// the stats (frozen), so the drop is visible in artifacts.
+func TestAdaptiveDrop(t *testing.T) {
+	setup := NewSolverSetupEngines([]sat.EngineSpec{
+		sat.InternalSpec(sat.Config{}),
+		{Kind: sat.EngineBDD, MaxNodes: 8}, // blows up instantly: never wins
+	})
+	setup.AdaptAfter = 2
+	f := setup.Factory()
+	for i := 0; i < 3; i++ {
+		e := f(context.Background())
+		p, ok := e.(*sat.Portfolio)
+		if !ok {
+			t.Fatalf("round %d: factory built %T, want *sat.Portfolio", i, e)
+		}
+		if i < 2 && p.Size() != 2 {
+			t.Fatalf("round %d: portfolio size %d, want 2", i, p.Size())
+		}
+		if i == 2 && p.Size() != 1 {
+			t.Fatalf("after %d losses the bdd engine must be dropped; size %d", i, p.Size())
+		}
+		loadPigeonhole(e, 5, 4)
+		if got := e.Solve(); got != sat.Unsat {
+			t.Fatalf("round %d: verdict %v", i, got)
+		}
+	}
+	stats := setup.WinStats()
+	if stats[1].Races != 2 || stats[1].Wins != 0 {
+		t.Errorf("dropped engine's slot: %+v", stats[1])
+	}
+	if stats[0].Races != 3 || stats[0].Wins != 3 {
+		t.Errorf("surviving engine's slot: %+v", stats[0])
+	}
+}
+
+// TestGlobalLedgerDrivesDrop: with a Global ledger attached, losses
+// recorded by one setup retire the engine in a different setup sharing
+// the ledger — the cross-case campaign mechanism.
+func TestGlobalLedgerDrivesDrop(t *testing.T) {
+	specs := []sat.EngineSpec{
+		sat.InternalSpec(sat.Config{}),
+		{Kind: sat.EngineBDD, MaxNodes: 8},
+	}
+	global := sat.NewLedgerLabels(sat.EngineLabels(specs))
+
+	first := NewSolverSetupEngines(specs)
+	first.AdaptAfter, first.Global = 2, global
+	f := first.Factory()
+	for i := 0; i < 2; i++ {
+		e := f(context.Background())
+		loadPigeonhole(e, 5, 4)
+		if got := e.Solve(); got != sat.Unsat {
+			t.Fatalf("warm-up %d: %v", i, got)
+		}
+	}
+
+	second := NewSolverSetupEngines(specs)
+	second.AdaptAfter, second.Global = 2, global
+	e := second.Factory()(context.Background())
+	p, ok := e.(*sat.Portfolio)
+	if !ok || p.Size() != 1 {
+		t.Fatalf("fresh setup still races the chronic loser: %T size %d", e, p.Size())
+	}
+	// The fresh setup's own per-run stats start clean.
+	for _, cs := range second.WinStats() {
+		if cs.Races != 0 {
+			t.Errorf("fresh per-run ledger pre-seeded: %+v", cs)
+		}
+	}
+}

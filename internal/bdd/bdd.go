@@ -78,6 +78,14 @@ func (m *Manager) Var(i int) Node {
 	return m.mk(int32(i), False, True)
 }
 
+// VarNode is Var with the node budget reported as ErrNodeLimit instead
+// of a panic, for callers building formulas outside the apply-style
+// operations (the bddengine solver adapter).
+func (m *Manager) VarNode(i int) (n Node, err error) {
+	defer m.guard(&err)
+	return m.Var(i), nil
+}
+
 func (m *Manager) mk(level int32, low, hi Node) Node {
 	if low == hi {
 		return low

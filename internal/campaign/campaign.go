@@ -31,12 +31,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"repro/internal/cnf"
 	"repro/internal/exp"
 	"repro/internal/genbench"
-	"repro/internal/sat"
 )
 
 // PlanVersion is bumped whenever the plan schema or case enumeration
@@ -69,16 +69,28 @@ type Config struct {
 	// Enc names the cardinality encoding: "adder" or "seq".
 	Enc        string `json:"enc,omitempty"`
 	SATIterCap int    `json:"sat_iter_cap"`
-	// Solver is the SAT engine configuration spec (sat.ParseConfig
-	// syntax); empty selects the baseline engine. Solver heuristics
-	// never change verdicts, but the spec is part of the plan (and so
-	// of its hash) because it changes the recorded solver_config and
-	// portfolio_stats artifact fields. omitempty keeps hashes of
-	// pre-portfolio plans unchanged.
+	// Solver is the SAT engine spec (sat.ParseEngineSpec grammar, which
+	// subsumes the original sat.ParseConfig syntax); empty selects the
+	// baseline internal engine. Solver choice never changes verdicts,
+	// but the spec is part of the plan (and so of its hash) because it
+	// changes the recorded solver_config and portfolio_stats artifact
+	// fields. omitempty keeps hashes of pre-portfolio plans unchanged.
 	Solver string `json:"solver,omitempty"`
-	// Portfolio races this many configured engines per solver query
-	// (< 2 = single engine).
+	// Portfolio races this many configured internal-engine variants per
+	// solver query (< 2 = single engine); requires an internal (or
+	// empty) Solver spec.
 	Portfolio int `json:"portfolio,omitempty"`
+	// PortfolioEngines, when set, races an explicit heterogeneous
+	// engine list instead (sat.ParseEngineList grammar, e.g.
+	// "internal,kissat,bdd"); a bare "internal" entry inherits the
+	// Solver base config. omitempty keeps pre-heterogeneous plan hashes
+	// unchanged.
+	PortfolioEngines string `json:"portfolio_engines,omitempty"`
+	// AdaptAfter retires a PortfolioEngines entry mid-run once it has
+	// raced this many times without a win (0 = never). Dropping only
+	// redistributes racing effort, never verdicts, but it is part of
+	// the plan because it changes the recorded portfolio_stats.
+	AdaptAfter int64 `json:"adapt_after,omitempty"`
 	// Suites selects the reports to produce, in output order; empty
 	// means DefaultSuites.
 	Suites []string `json:"suites"`
@@ -90,24 +102,30 @@ func (c Config) ExpConfig() (exp.Config, error) {
 	if err != nil {
 		return exp.Config{}, err
 	}
-	solver, err := sat.ParseConfig(c.Solver)
-	if err != nil {
-		return exp.Config{}, err
-	}
-	if c.Solver == "" {
-		// Preserve the zero value: exp treats the zero sat.Config as
-		// "attack-default engine" and keeps artifacts label-free.
-		solver = sat.Config{}
-	}
-	return exp.Config{
+	cfg := exp.Config{
 		Specs:      c.Specs,
 		Seed:       c.Seed,
 		Timeout:    c.Timeout,
 		Enc:        enc,
 		SATIterCap: c.SATIterCap,
-		Solver:     solver,
-		Portfolio:  c.Portfolio,
-	}, nil
+		AdaptAfter: c.AdaptAfter,
+	}
+	portfolio := ""
+	switch {
+	case c.PortfolioEngines != "" && c.Portfolio >= 2:
+		return exp.Config{}, fmt.Errorf("campaign: portfolio and portfolio_engines are mutually exclusive")
+	case c.PortfolioEngines != "":
+		portfolio = c.PortfolioEngines
+	case c.Portfolio != 0:
+		portfolio = strconv.Itoa(c.Portfolio)
+	}
+	if err := cfg.ApplySolverFlags(c.Solver, portfolio); err != nil {
+		return exp.Config{}, err
+	}
+	if c.AdaptAfter > 0 && len(cfg.Engines) < 2 {
+		return exp.Config{}, fmt.Errorf("campaign: adapt_after needs a portfolio_engines list to adapt")
+	}
+	return cfg, nil
 }
 
 // Case is one planned unit of work with a stable ID. SpecIdx indexes

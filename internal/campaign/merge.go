@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/sat"
 )
 
 // MergeResult is the reassembly of a campaign's artifacts against its
@@ -46,6 +47,28 @@ func Merge(plan *Plan, dirs []string) (*MergeResult, error) {
 
 // Complete reports whether every planned case has an artifact.
 func (m *MergeResult) Complete() bool { return len(m.Missing) == 0 }
+
+// WinStats aggregates the per-engine racing statistics recorded across
+// every artifact (attack outcomes, Fig. 6 key-confirmation pipelines
+// and their SAT-attack halves), keyed by engine label in plan order —
+// the campaign-level ledger snapshot that cmd/campaign merge prints and
+// persists for -learn-from. Nil when the campaign did not race.
+func (m *MergeResult) WinStats() []sat.ConfigStats {
+	var groups [][]sat.ConfigStats
+	for _, pc := range m.Plan.Cases {
+		a, ok := m.Artifacts[pc.ID]
+		if !ok {
+			continue
+		}
+		if a.Outcome != nil {
+			groups = append(groups, a.Outcome.PortfolioStats)
+		}
+		if a.Fig6 != nil {
+			groups = append(groups, a.Fig6.KCPortfolio, a.Fig6.SA.PortfolioStats)
+		}
+	}
+	return sat.MergeStats(groups...)
+}
 
 // Render writes the plan's report suites in order, reassembled from the
 // artifacts, using the exact formatting of the monolithic

@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// TestRetryRecomputesFailed: `campaign retry` semantics — DeleteFailed
+// removes exactly the failed artifacts, a subsequent Run recomputes
+// only those cases (healthy artifacts resume untouched), and a further
+// run after the retry resumes everything.
+func TestRetryRecomputesFailed(t *testing.T) {
+	plan, err := NewPlan(tinyCampaignConfig("summary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "artifacts")
+	ctx := context.Background()
+
+	report, err := Run(ctx, plan, dir, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Ran != len(plan.Cases) || report.Failed != 0 {
+		t.Fatalf("initial run: %+v", report)
+	}
+
+	// Simulate two cases that died mid-campaign (a crashed solver, an
+	// OOM-killed worker) by overwriting their artifacts with failures.
+	failedIDs := []string{plan.Cases[0].ID, plan.Cases[2].ID}
+	for _, id := range failedIDs {
+		if err := WriteArtifact(dir, &Artifact{PlanHash: plan.Hash, CaseID: id, Error: "injected failure"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Shard scoping: a shard must only delete failures it will itself
+	// recompute. With 2 shards, case 0 belongs to shard 0 and case 2 to
+	// shard 0 as well (even indices), so shard 1 deletes nothing.
+	shard1, err := plan.ShardIndices(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted, err := DeleteFailed(plan, dir, shard1); err != nil || len(deleted) != 0 {
+		t.Fatalf("shard 1 deleted foreign failures: %v, %v", deleted, err)
+	}
+
+	deleted, err := DeleteFailed(plan, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 || deleted[0] != failedIDs[0] || deleted[1] != failedIDs[1] {
+		t.Fatalf("DeleteFailed removed %v, want %v", deleted, failedIDs)
+	}
+
+	// The retry run recomputes exactly the deleted cases.
+	report, err = Run(ctx, plan, dir, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Ran != 2 || report.Skipped != len(plan.Cases)-2 || report.Failed != 0 {
+		t.Fatalf("retry run: %+v", report)
+	}
+
+	// Resume-after-retry: everything is healthy and skipped.
+	report, err = Run(ctx, plan, dir, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Ran != 0 || report.Skipped != len(plan.Cases) || report.Failed != 0 {
+		t.Fatalf("resume after retry: %+v", report)
+	}
+
+	m, err := Merge(plan, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Complete() || len(m.Failed) != 0 {
+		t.Fatalf("post-retry merge: missing %v failed %v", m.Missing, m.Failed)
+	}
+
+	// A clean campaign has nothing to delete.
+	if deleted, err := DeleteFailed(plan, dir, nil); err != nil || len(deleted) != 0 {
+		t.Fatalf("clean DeleteFailed: %v, %v", deleted, err)
+	}
+}

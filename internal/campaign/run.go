@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/exp"
+	"repro/internal/sat"
 )
 
 // RunOptions tunes a shard execution.
@@ -25,6 +26,13 @@ type RunOptions struct {
 	Workers int
 	// Log, when non-nil, receives one progress line per case.
 	Log io.Writer
+	// LearnFrom is a portfolio-stats JSON file (written by campaign
+	// merge or fallbench -stats-out) whose recorded win statistics
+	// reorder — and, with the plan's AdaptAfter, prune — the engine
+	// list before racing (sat.LearnedConfigs). Learning redistributes
+	// racing effort only; verdicts and artifacts' verdict fields are
+	// unaffected.
+	LearnFrom string
 
 	// afterArtifact is a test seam invoked after each artifact lands on
 	// disk (used to kill a shard deterministically mid-flight).
@@ -72,6 +80,24 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 		return nil, err
 	}
 	expCfg.Workers = opts.Workers
+	if len(expCfg.Engines) > 0 {
+		if opts.LearnFrom != "" {
+			prior, err := sat.ReadStatsFile(opts.LearnFrom)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: learn-from: %w", err)
+			}
+			expCfg.Engines = sat.LearnedConfigs(expCfg.Engines, prior, plan.Config.AdaptAfter)
+		}
+		// Fail fast on missing solver binaries (instead of a shard full of
+		// Unknown verdicts), and share one ledger across the shard's cases
+		// so chronic losers retire mid-run.
+		if err := attack.NewSolverSetupEngines(expCfg.Engines).Check(); err != nil {
+			return nil, err
+		}
+		if plan.Config.AdaptAfter > 0 {
+			expCfg.Adapt = sat.NewLedgerLabels(sat.EngineLabels(expCfg.Engines))
+		}
+	}
 
 	report := &RunReport{ShardCases: len(idxs)}
 	var todo []int
@@ -192,4 +218,40 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 		return report, writeErr
 	}
 	return report, ctx.Err()
+}
+
+// DeleteFailed removes every artifact under dir that records a failure
+// for one of the given plan-case indices (nil = the whole plan),
+// returning the deleted case IDs in plan order — the first half of
+// `campaign retry`: delete the failures, then Run recomputes exactly
+// the now-missing cases (and resume semantics keep every healthy
+// artifact untouched). The index restriction matters under sharding: a
+// retrying shard must not delete another shard's failed artifact it
+// will never recompute, or the campaign would degrade from "completed
+// with failures" to incomplete. Artifacts from foreign plans are an
+// error, exactly as in a merge.
+func DeleteFailed(plan *Plan, dir string, idxs []int) ([]string, error) {
+	if idxs == nil {
+		idxs = make([]int, len(plan.Cases))
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	arts, err := ReadArtifacts(plan, []string{dir})
+	if err != nil {
+		return nil, err
+	}
+	var deleted []string
+	for _, i := range idxs {
+		pc := plan.Cases[i]
+		a, ok := arts[pc.ID]
+		if !ok || !a.Failed() {
+			continue
+		}
+		if err := os.Remove(ArtifactPath(dir, pc.ID)); err != nil {
+			return deleted, err
+		}
+		deleted = append(deleted, pc.ID)
+	}
+	return deleted, nil
 }

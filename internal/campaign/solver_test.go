@@ -1,9 +1,14 @@
 package campaign
 
 import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/genbench"
+	"repro/internal/sat"
 )
 
 // TestPlanSolverConfig: solver settings are part of a plan's identity,
@@ -51,5 +56,143 @@ func TestPlanSolverConfig(t *testing.T) {
 	bad.Solver = "frobnicate=1"
 	if _, err := NewPlan(bad); err == nil {
 		t.Error("bad solver spec accepted at plan time")
+	}
+}
+
+// TestPlanHeterogeneousEngines: engine lists serialize through plans,
+// resolve into exp.Config.Engines, and bad combinations are rejected
+// at plan time.
+func TestPlanHeterogeneousEngines(t *testing.T) {
+	base := Config{
+		Specs:  genbench.Scaled(genbench.TableI, 16, 12)[:2],
+		Seed:   7,
+		Suites: []string{"summary"},
+	}
+
+	het := base
+	het.Solver = "seed=5"
+	het.PortfolioEngines = "internal,bdd:max-nodes=1<<18"
+	het.AdaptAfter = 10
+	p, err := NewPlan(het)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := p.Config.ExpConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ec.Engines) != 2 || ec.Engines[0].Config.Seed != 5 || ec.Engines[1].Kind != sat.EngineBDD {
+		t.Errorf("engines lost in resolution: %+v", ec.Engines)
+	}
+	if ec.AdaptAfter != 10 {
+		t.Errorf("adapt_after lost: %d", ec.AdaptAfter)
+	}
+
+	// A single non-internal -solver also lands in Engines.
+	single := base
+	single.Solver = "bdd"
+	ec, err = single.ExpConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ec.Engines) != 1 || ec.Engines[0].Kind != sat.EngineBDD {
+		t.Errorf("bdd solver resolution: %+v", ec.Engines)
+	}
+
+	for name, bad := range map[string]Config{
+		"badList":       {Solver: "", PortfolioEngines: "internal,frobnicate=1"},
+		"widthAndList":  {Portfolio: 3, PortfolioEngines: "internal,bdd"},
+		"externalBase":  {Solver: "kissat", PortfolioEngines: "internal,bdd"},
+		"widthExternal": {Solver: "kissat", Portfolio: 3},
+		"adaptNoList":   {Solver: "seed=1", AdaptAfter: 5},
+	} {
+		cfg := base
+		cfg.Solver, cfg.Portfolio, cfg.PortfolioEngines, cfg.AdaptAfter =
+			bad.Solver, bad.Portfolio, bad.PortfolioEngines, bad.AdaptAfter
+		if _, err := NewPlan(cfg); err == nil {
+			t.Errorf("%s: accepted at plan time", name)
+		}
+	}
+}
+
+// TestPlanHashBackwardCompatible: configs that do not use the new
+// fields serialize without them (omitempty), so plan hashes of
+// pre-heterogeneous flag forms are unchanged by this refactor.
+func TestPlanHashBackwardCompatible(t *testing.T) {
+	cfg := tinyCampaignConfig("summary")
+	cfg.Solver = "seed=3"
+	cfg.Portfolio = 3
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"portfolio_engines", "adapt_after"} {
+		if strings.Contains(string(data), key) {
+			t.Errorf("legacy config serializes new key %q: %s", key, data)
+		}
+	}
+}
+
+// TestCampaignHeterogeneousMatchesDefault: a campaign racing
+// internal+bdd engines (with mid-run adaptation) renders the same
+// verdict report as the default single-engine campaign, records
+// portfolio stats under spec labels, aggregates them in WinStats, and
+// its stats file feeds a learned re-run.
+func TestCampaignHeterogeneousMatchesDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two tiny campaigns")
+	}
+	ctx := context.Background()
+	run := func(cfg Config, opts RunOptions) (string, *MergeResult) {
+		t.Helper()
+		plan, err := NewPlan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "artifacts")
+		if _, err := Run(ctx, plan, dir, opts); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Merge(plan, []string{dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := m.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), m
+	}
+
+	defCfg := tinyCampaignConfig("summary")
+	defReport, defMerge := run(defCfg, RunOptions{Workers: 2})
+	if stats := defMerge.WinStats(); stats != nil {
+		t.Errorf("default campaign recorded stats: %+v", stats)
+	}
+
+	hetCfg := tinyCampaignConfig("summary")
+	hetCfg.PortfolioEngines = "internal,bdd:max-nodes=1<<16"
+	hetCfg.AdaptAfter = 50
+	hetReport, hetMerge := run(hetCfg, RunOptions{Workers: 2})
+	if hetReport != defReport {
+		t.Errorf("heterogeneous campaign report differs from default:\n--- default\n%s\n--- heterogeneous\n%s", defReport, hetReport)
+	}
+	stats := hetMerge.WinStats()
+	if len(stats) != 2 || stats[0].Config != "seed=0" || !strings.HasPrefix(stats[1].Config, "bdd") {
+		t.Fatalf("campaign stats: %+v", stats)
+	}
+	if stats[0].Races == 0 {
+		t.Error("no races recorded")
+	}
+
+	// Learned re-run: persist the snapshot, re-run from scratch with
+	// -learn-from, and get the same report again.
+	statsPath := filepath.Join(t.TempDir(), "portfolio_stats.json")
+	if err := sat.WriteStatsFile(statsPath, stats); err != nil {
+		t.Fatal(err)
+	}
+	learnedReport, _ := run(hetCfg, RunOptions{Workers: 2, LearnFrom: statsPath})
+	if learnedReport != defReport {
+		t.Error("learned campaign report differs from default")
 	}
 }

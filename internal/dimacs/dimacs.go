@@ -94,8 +94,21 @@ func Parse(r io.Reader) (*Formula, error) {
 
 // Write emits the formula in DIMACS format.
 func Write(w io.Writer, f *Formula) error {
+	return WriteWithUnits(w, f, nil)
+}
+
+// WriteWithUnits emits the formula with extra unit clauses appended —
+// the assumptions-as-units dump the DIMACS-pipe engine uses: external
+// competition solvers speak no assumption interface, so each
+// SolveAssuming call re-dumps the buffered formula with its assumptions
+// as units. Units are declared in the problem line's clause count and
+// emitted first, so a reader sees a plain well-formed CNF.
+func WriteWithUnits(w io.Writer, f *Formula, units []int) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)+len(units))
+	for _, u := range units {
+		fmt.Fprintf(bw, "%d 0\n", u)
+	}
 	for _, cl := range f.Clauses {
 		for _, lit := range cl {
 			fmt.Fprintf(bw, "%d ", lit)
@@ -103,6 +116,115 @@ func Write(w io.Writer, f *Formula) error {
 		fmt.Fprintln(bw, 0)
 	}
 	return bw.Flush()
+}
+
+// Result is a parsed external-solver answer: the verdict and, for SAT,
+// the model indexed by DIMACS variable (1..NumVars; entry 0 unused).
+// Variables the solver did not mention default to false.
+type Result struct {
+	Status sat.Status
+	Model  []bool
+}
+
+// ParseResult parses the output of a DIMACS solver invocation in the
+// SAT-competition format — an `s SATISFIABLE` / `s UNSATISFIABLE` /
+// `s UNKNOWN` status line plus `v` value lines terminated by 0 — and in
+// the bare minisat result-file dialect (`SAT`/`UNSAT` status, literal
+// lines without the `v ` prefix). Malformed output is an error, never a
+// silent verdict: a missing status line, a truncated model (v lines
+// that never reach the 0 terminator), a satisfiable claim without a
+// model, literals outside 1..numVars, or garbage tokens.
+func ParseResult(r io.Reader, numVars int) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	res := &Result{Status: sat.Unknown}
+	sawStatus := false
+	model := make([]bool, numVars+1)
+	inModel := false    // saw at least one value literal
+	terminated := false // saw the 0 terminator
+	addLits := func(fields []string) error {
+		for _, tok := range fields {
+			lit, err := strconv.Atoi(tok)
+			if err != nil {
+				return fmt.Errorf("dimacs: bad value literal %q in solver output", tok)
+			}
+			if lit == 0 {
+				terminated = true
+				return nil
+			}
+			if terminated {
+				return fmt.Errorf("dimacs: value literal %d after model terminator", lit)
+			}
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v > numVars {
+				return fmt.Errorf("dimacs: value literal %d exceeds %d problem variables", lit, numVars)
+			}
+			inModel = true
+			model[v] = lit > 0
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "c"):
+			continue
+		case strings.HasPrefix(line, "s "):
+			if sawStatus {
+				return nil, fmt.Errorf("dimacs: duplicate status line %q", line)
+			}
+			sawStatus = true
+			switch strings.TrimSpace(line[2:]) {
+			case "SATISFIABLE":
+				res.Status = sat.Sat
+			case "UNSATISFIABLE":
+				res.Status = sat.Unsat
+			case "UNKNOWN", "INDETERMINATE":
+				res.Status = sat.Unknown
+			default:
+				return nil, fmt.Errorf("dimacs: unrecognized status line %q", line)
+			}
+		case line == "SAT" || line == "SATISFIABLE":
+			sawStatus = true
+			res.Status = sat.Sat
+		case line == "UNSAT" || line == "UNSATISFIABLE":
+			sawStatus = true
+			res.Status = sat.Unsat
+		case line == "INDET" || line == "INDETERMINATE" || line == "UNKNOWN":
+			sawStatus = true
+			res.Status = sat.Unknown
+		case strings.HasPrefix(line, "v ") || line == "v":
+			if err := addLits(strings.Fields(line[1:])); err != nil {
+				return nil, err
+			}
+		default:
+			// Bare literal lines (minisat result files) — every field must
+			// be an integer, anything else is garbage.
+			if err := addLits(strings.Fields(line)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawStatus {
+		return nil, fmt.Errorf("dimacs: solver output has no status line")
+	}
+	if res.Status == sat.Sat {
+		// A terminated-but-empty model (just "v 0") is valid: a formula
+		// over zero variables is trivially satisfiable.
+		if !terminated {
+			return nil, fmt.Errorf("dimacs: satisfiable verdict without a terminated model")
+		}
+		res.Model = model
+	} else if inModel {
+		return nil, fmt.Errorf("dimacs: %v verdict carries value literals", res.Status)
+	}
+	return res, nil
 }
 
 // LoadIntoSolver creates the formula's variables in s (which must be

@@ -62,6 +62,96 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestWriteWithUnitsRoundTrip: an assumptions-as-units dump parses back
+// as a well-formed CNF whose verdict equals solving the original clauses
+// under those assumptions — the contract the DIMACS-pipe engine relies
+// on for SolveAssuming.
+func TestWriteWithUnitsRoundTrip(t *testing.T) {
+	// x1 XOR x2, satisfiable alone, unsatisfiable under x1 ∧ x2.
+	f := &Formula{NumVars: 2, Clauses: [][]int{{1, 2}, {-1, -2}}}
+	for _, tc := range []struct {
+		units []int
+		want  sat.Status
+	}{
+		{nil, sat.Sat},
+		{[]int{1}, sat.Sat},
+		{[]int{1, 2}, sat.Unsat},
+		{[]int{-1, -2}, sat.Unsat},
+	} {
+		var buf strings.Builder
+		if err := WriteWithUnits(&buf, f, tc.units); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("units %v: dump does not parse back: %v\n%s", tc.units, err, buf.String())
+		}
+		if len(back.Clauses) != len(f.Clauses)+len(tc.units) {
+			t.Fatalf("units %v: %d clauses, want %d", tc.units, len(back.Clauses), len(f.Clauses)+len(tc.units))
+		}
+		s := sat.New()
+		_, ok := LoadIntoSolver(s, back)
+		got := sat.Unsat
+		if ok {
+			got = s.Solve()
+		}
+		if got != tc.want {
+			t.Errorf("units %v: verdict %v, want %v", tc.units, got, tc.want)
+		}
+	}
+}
+
+func TestParseResult(t *testing.T) {
+	good := []struct {
+		name, out string
+		status    sat.Status
+		model     map[int]bool // checked entries (1-based)
+	}{
+		{"sat", "c stub\ns SATISFIABLE\nv 1 -2 3 0\n", sat.Sat, map[int]bool{1: true, 2: false, 3: true}},
+		{"satMultilineV", "s SATISFIABLE\nv 1 -2\nv -3\nv 0\n", sat.Sat, map[int]bool{1: true, 2: false, 3: false}},
+		{"unsat", "s UNSATISFIABLE\n", sat.Unsat, nil},
+		{"unknown", "s UNKNOWN\n", sat.Unknown, nil},
+		{"minisatSat", "SAT\n1 -2 3 0\n", sat.Sat, map[int]bool{1: true, 3: true}},
+		{"minisatUnsat", "UNSAT\n", sat.Unsat, nil},
+		{"minisatIndet", "INDET\n", sat.Unknown, nil},
+	}
+	for _, tc := range good {
+		res, err := ParseResult(strings.NewReader(tc.out), 3)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if res.Status != tc.status {
+			t.Errorf("%s: status %v, want %v", tc.name, res.Status, tc.status)
+		}
+		for v, want := range tc.model {
+			if res.Model[v] != want {
+				t.Errorf("%s: model[%d] = %v, want %v", tc.name, v, res.Model[v], want)
+			}
+		}
+	}
+
+	bad := []struct{ name, out string }{
+		{"empty", ""},
+		{"noStatus", "v 1 -2 3 0\n"},
+		{"commentsOnly", "c nothing to see\n"},
+		{"truncatedV", "s SATISFIABLE\nv 1 -2\n"},
+		{"satNoModel", "s SATISFIABLE\n"},
+		{"badStatus", "s MAYBE\n"},
+		{"dupStatus", "s UNSATISFIABLE\ns UNSATISFIABLE\n"},
+		{"garbageV", "s SATISFIABLE\nv 1 two 0\n"},
+		{"outOfRange", "s SATISFIABLE\nv 1 -2 9 0\n"},
+		{"litsAfterTerminator", "s SATISFIABLE\nv 1 0\nv 2 0\n"},
+		{"modelOnUnsat", "s UNSATISFIABLE\nv 1 0\n"},
+		{"garbageLine", "segmentation fault\n"},
+	}
+	for _, tc := range bad {
+		if res, err := ParseResult(strings.NewReader(tc.out), 3); err == nil {
+			t.Errorf("%s: accepted malformed output: %+v", tc.name, res)
+		}
+	}
+}
+
 // Property: write/parse round trip preserves the formula, and solving the
 // round-tripped formula matches solving the original clauses directly.
 func TestQuickRoundTripAndSolve(t *testing.T) {

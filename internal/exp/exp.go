@@ -148,6 +148,33 @@ type Config struct {
 	// only the runtime distribution; per-config win statistics land in
 	// each Outcome.
 	Portfolio int
+	// Engines, when non-empty, selects an explicit (possibly
+	// heterogeneous) engine list raced per query — internal configs,
+	// external DIMACS solvers, the BDD engine — and overrides
+	// Solver/Portfolio. Entry points that learn from prior runs apply
+	// sat.LearnedConfigs to this list before building the config.
+	Engines []sat.EngineSpec
+	// AdaptAfter retires an Engines entry from later-built portfolios
+	// once it has raced this many times without a win (0 = never); see
+	// attack.SolverSetup.AdaptAfter.
+	AdaptAfter int64
+	// Adapt is the runtime-only cross-case ledger (slots matching
+	// Engines) that accumulates every race of the run and drives the
+	// AdaptAfter decision across cases; nil confines adaptation to each
+	// single attack run. Like Workers it is never serialized.
+	Adapt *sat.Ledger
+}
+
+// ApplySolverFlags resolves the -solver/-portfolio flag grammar
+// (sat.ResolveSolverFlags — the same resolution the attack CLIs use)
+// into the config's Solver/Portfolio/Engines fields.
+func (cfg *Config) ApplySolverFlags(solver, portfolio string) error {
+	base, width, specs, err := sat.ResolveSolverFlags(solver, portfolio)
+	if err != nil {
+		return err
+	}
+	cfg.Solver, cfg.Portfolio, cfg.Engines = base, width, specs
+	return nil
 }
 
 // solverSetup derives the per-run solver setup. Each attack run gets a
@@ -156,6 +183,12 @@ type Config struct {
 // engine), keeping default outcomes byte-identical to pre-portfolio
 // artifacts.
 func (cfg Config) solverSetup() *attack.SolverSetup {
+	if len(cfg.Engines) > 0 {
+		s := attack.NewSolverSetupEngines(cfg.Engines)
+		s.AdaptAfter = cfg.AdaptAfter
+		s.Global = cfg.Adapt
+		return s
+	}
 	if cfg.Portfolio < 2 && cfg.Solver == (sat.Config{}) {
 		return nil
 	}
@@ -341,6 +374,21 @@ type Outcome struct {
 	// miters) when portfolio racing was enabled. Wins and conflicts are
 	// scheduling-dependent diagnostics; verdict fields never are.
 	PortfolioStats []sat.ConfigStats `json:"portfolio_stats,omitempty"`
+}
+
+// WinStats aggregates the per-engine racing statistics recorded across
+// outcomes and Fig. 6 results (label-keyed, first-appearance order) —
+// the summary fallbench prints on stderr and campaign merge persists
+// for learned portfolios. Nil when nothing raced.
+func WinStats(outs []Outcome, figs []Fig6CaseResult) []sat.ConfigStats {
+	var groups [][]sat.ConfigStats
+	for i := range outs {
+		groups = append(groups, outs[i].PortfolioStats)
+	}
+	for i := range figs {
+		groups = append(groups, figs[i].KCPortfolio, figs[i].SA.PortfolioStats)
+	}
+	return sat.MergeStats(groups...)
 }
 
 // scoreShortlist scores a recovered shortlist against the case:

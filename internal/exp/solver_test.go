@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"repro/internal/fall"
@@ -44,6 +45,46 @@ func TestHarnessPortfolioVerdictsMatch(t *testing.T) {
 	}
 	if wins == 0 {
 		t.Error("no portfolio wins recorded — factory not plumbed into the attack?")
+	}
+}
+
+// TestHarnessHeterogeneousEngines: racing an explicit internal+bdd
+// engine list reports the same verdict fields as the default engine,
+// labels the outcome with the heterogeneous portfolio, and accounts
+// races under the spec labels. WinStats aggregates them.
+func TestHarnessHeterogeneousEngines(t *testing.T) {
+	cfg := tinyConfig()
+	// Timeout 0: verdicts stay pure functions of the seed, so the
+	// comparison cannot be perturbed by the BDD member's per-cell
+	// blow-up cost (kept small via the node budget).
+	cfg.Timeout = 0
+	cs, err := BuildCase(cfg.Specs[0], HD0, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base := RunFALL(ctx, cs, fall.Unateness, cfg)
+
+	hcfg := cfg
+	hcfg.Engines = []sat.EngineSpec{
+		sat.InternalSpec(sat.Config{}),
+		{Kind: sat.EngineBDD, MaxNodes: 1 << 12},
+	}
+	het := RunFALL(ctx, cs, fall.Unateness, hcfg)
+	if het.Solved != base.Solved || het.Equivalent != base.Equivalent ||
+		het.PlantedKeyMatch != base.PlantedKeyMatch || het.NumKeys != base.NumKeys ||
+		het.Failed != base.Failed {
+		t.Errorf("heterogeneous verdict differs from single engine:\n  base %+v\n  het  %+v", base, het)
+	}
+	if !strings.Contains(het.SolverConfig, "bdd") {
+		t.Errorf("solver label %q does not name the engine mix", het.SolverConfig)
+	}
+	if len(het.PortfolioStats) != 2 || het.PortfolioStats[1].Config != "bdd:max-nodes=4096" {
+		t.Fatalf("portfolio stats: %+v", het.PortfolioStats)
+	}
+	agg := WinStats([]Outcome{base, het}, nil)
+	if len(agg) != 2 || agg[0].Races != het.PortfolioStats[0].Races {
+		t.Errorf("WinStats aggregation: %+v", agg)
 	}
 }
 

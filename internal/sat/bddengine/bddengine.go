@@ -1,0 +1,232 @@
+// Package bddengine implements sat.Engine on reduced ordered binary
+// decision diagrams (internal/bdd): the clause stream is conjoined into
+// one ROBDD, and each Solve call decides satisfiability exactly by
+// checking the conjunction against the False terminal. BDDs excel on
+// the small, structured cube-stripper cones the FALL attack isolates
+// (the bypass/BDD trade-off of Xu et al. and the SCONE analysis), while
+// CDCL search scales to cones whose BDDs blow up — so the engine
+// returns Unknown when its node budget is exceeded, making it a safe
+// portfolio member that falls through to SAT instead of stalling a
+// race.
+package bddengine
+
+import (
+	"context"
+
+	"repro/internal/bdd"
+	"repro/internal/sat"
+)
+
+// Engine is a sat.Engine deciding queries on a ROBDD. Like every
+// engine, it is not safe for concurrent use. The conjunction BDD is
+// cached across calls: solving repeatedly under different assumptions
+// (the FALL grid's query shape) pays the clause-build cost once.
+type Engine struct {
+	maxNodes int
+	nVars    int
+	clauses  [][]sat.Lit
+	ok       bool // false once an empty clause is added
+	ctx      context.Context
+
+	m            *bdd.Manager
+	conj         bdd.Node
+	builtVars    int
+	builtClauses int
+	blown        bool // node budget exceeded while conjoining clauses
+
+	model []bool
+	stats sat.Stats
+}
+
+var _ sat.Engine = (*Engine)(nil)
+
+// New returns an engine with the given ROBDD node budget (0 selects the
+// bdd package default of 1<<20 nodes).
+func New(maxNodes int) *Engine {
+	return &Engine{maxNodes: maxNodes, ok: true}
+}
+
+// LimitReached reports whether a previous call exhausted the node
+// budget; once true, every Solve returns Unknown (the formula's BDD
+// does not shrink by adding clauses).
+func (e *Engine) LimitReached() bool { return e.blown }
+
+// NewVar introduces a fresh variable and returns its index.
+func (e *Engine) NewVar() int {
+	e.nVars++
+	return e.nVars - 1
+}
+
+// NumVars returns the number of variables created so far.
+func (e *Engine) NumVars() int { return e.nVars }
+
+// AddClause buffers a clause. It returns false only for the empty
+// clause; deeper top-level conflicts surface as an Unsat verdict when
+// the conjunction reaches False.
+func (e *Engine) AddClause(lits ...sat.Lit) bool {
+	if len(lits) == 0 {
+		e.ok = false
+		return false
+	}
+	e.clauses = append(e.clauses, append([]sat.Lit(nil), lits...))
+	return e.ok
+}
+
+// SetContext attaches a cancellation/deadline context, polled between
+// clause conjunctions and assumption applications.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// Stats returns the engine's counters. Only SolveCalls is meaningful:
+// BDD work is node allocations, not conflicts.
+func (e *Engine) Stats() sat.Stats { return e.stats }
+
+// Solve decides satisfiability of the buffered clause set.
+func (e *Engine) Solve() sat.Status { return e.SolveAssuming(nil) }
+
+// SolveAssuming decides satisfiability under assumption literals,
+// conjoined onto the cached clause BDD for this call only.
+func (e *Engine) SolveAssuming(assumptions []sat.Lit) sat.Status {
+	e.stats.SolveCalls++
+	if !e.ok {
+		return sat.Unsat
+	}
+	ctx := e.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.blown || ctx.Err() != nil {
+		return sat.Unknown
+	}
+	if !e.build(ctx) {
+		return sat.Unknown
+	}
+	if e.conj == bdd.False {
+		// Unsatisfiable regardless of assumptions.
+		return sat.Unsat
+	}
+	q := e.conj
+	for i, l := range assumptions {
+		if i%64 == 0 && ctx.Err() != nil {
+			return sat.Unknown
+		}
+		lit, err := e.litNode(l)
+		if err != nil {
+			return sat.Unknown // assumption-local blow-up: base BDD stays valid
+		}
+		if q, err = e.m.And(q, lit); err != nil {
+			return sat.Unknown
+		}
+		if q == bdd.False {
+			return sat.Unsat
+		}
+	}
+	if q == bdd.False {
+		return sat.Unsat
+	}
+	assign := e.m.AnySat(q)
+	e.model = append(e.model[:0], assign...)
+	return sat.Sat
+}
+
+// build (re)conjoins buffered clauses into the cached BDD. A growing
+// variable count forces a rebuild (the manager's ordering is fixed at
+// creation); otherwise only clauses added since the last call are
+// conjoined. It returns false on cancellation (transient: conj and
+// builtClauses are only committed together after a complete
+// conjunction, so a cancelled build never leaves clauses counted as
+// built but missing from conj — that would let a later call decide a
+// weaker formula) or on node-budget blow-up (sticky — see
+// LimitReached).
+func (e *Engine) build(ctx context.Context) bool {
+	if e.m == nil || e.builtVars != e.nVars {
+		e.m = bdd.New(e.nVars, e.maxNodes)
+		e.conj = bdd.True
+		e.builtVars = e.nVars
+		e.builtClauses = 0
+	}
+	// Conjoin pending clauses through a balanced reduction tree: the
+	// final ROBDD is canonical either way, but a left fold forces the
+	// whole constraint at every step, while balanced pairing keeps
+	// intermediate diagrams near the size of their own subformulas —
+	// often the difference between fitting the node budget and blowing
+	// it on Tseitin-encoded cones.
+	var pending []bdd.Node
+	for i := e.builtClauses; i < len(e.clauses); i++ {
+		if i%64 == 0 && ctx.Err() != nil {
+			return false
+		}
+		cl := bdd.False
+		for _, l := range e.clauses[i] {
+			lit, err := e.litNode(l)
+			if err != nil {
+				e.blown = true
+				return false
+			}
+			if cl, err = e.m.Or(cl, lit); err != nil {
+				e.blown = true
+				return false
+			}
+		}
+		pending = append(pending, cl)
+	}
+	for len(pending) > 1 {
+		if ctx.Err() != nil {
+			return false
+		}
+		next := pending[:0]
+		for i := 0; i < len(pending); i += 2 {
+			if i+1 == len(pending) {
+				next = append(next, pending[i])
+				break
+			}
+			n, err := e.m.And(pending[i], pending[i+1])
+			if err != nil {
+				e.blown = true
+				return false
+			}
+			next = append(next, n)
+		}
+		pending = next
+	}
+	if len(pending) == 1 {
+		n, err := e.m.And(e.conj, pending[0])
+		if err != nil {
+			e.blown = true
+			return false
+		}
+		e.conj = n
+	}
+	e.builtClauses = len(e.clauses)
+	return true
+}
+
+// litNode builds the BDD of one literal under the node budget.
+func (e *Engine) litNode(l sat.Lit) (bdd.Node, error) {
+	n, err := e.m.VarNode(l.Var())
+	if err != nil {
+		return n, err
+	}
+	if l.Sign() {
+		return e.m.Not(n)
+	}
+	return n, nil
+}
+
+// Value returns variable v's value in the last satisfying assignment.
+// Variables the model leaves unconstrained report false (matching
+// bdd.AnySat).
+func (e *Engine) Value(v int) bool {
+	if v >= len(e.model) {
+		return false
+	}
+	return e.model[v]
+}
+
+// LitTrue reports whether literal l is true in the last model.
+func (e *Engine) LitTrue(l sat.Lit) bool {
+	val := e.Value(l.Var())
+	if l.Sign() {
+		return !val
+	}
+	return val
+}

@@ -5,9 +5,10 @@ import "context"
 // Engine is the solver-backend interface every SAT consumer in this
 // repository programs against: the incremental subset of *Solver that
 // the CNF encoder and the attacks use. Implementations: *Solver (one
-// CDCL engine) and *Portfolio (N configured engines racing per query).
-// Future backends (external DIMACS solvers, a BDD fallback) plug in
-// here.
+// CDCL engine), *Portfolio (N engines racing per query),
+// procengine.ProcessEngine (an external DIMACS solver behind a pipe)
+// and bddengine.Engine (exact ROBDD reasoning for small cones). Engine
+// specs (see EngineSpec) name backends in flags and campaign plans.
 //
 // Engines are not safe for concurrent use; attacks that parallelize
 // create one engine per worker through an attack.SolverFactory.

@@ -22,31 +22,67 @@ import (
 // member remains incrementally useful even when it loses races. Like
 // *Solver, a Portfolio is not safe for concurrent use: the concurrency
 // lives inside each call, not across calls.
+//
+// Members need not be internal CDCL solvers: any Engine races (an
+// external DIMACS-pipe solver, the BDD engine). Heterogeneous members
+// preserve the agreement property — every backend decides the same
+// formula — so racing still never changes a decided verdict; backends
+// that give up (a BDD blow-up, a killed process) return Unknown and
+// simply lose the race.
 type Portfolio struct {
-	engines []*Solver
-	configs []Config
-	ledger  *Ledger
+	engines []Engine
+	slots   []int // engine i accounts into ledger slot slots[i]
+	ledgers []*Ledger
 	ctx     context.Context
 	winner  int // engine backing Value/LitTrue (last Sat winner)
 }
 
-// NewPortfolio builds a portfolio over the given configurations. The
-// optional ledger accumulates per-config win statistics; several
-// portfolios (e.g. one per FALL grid cell) may share one ledger, whose
-// config list must then match. A nil ledger disables accounting.
+// NewPortfolio builds a portfolio of internal engines over the given
+// configurations. The optional ledger accumulates per-config win
+// statistics; several portfolios (e.g. one per FALL grid cell) may
+// share one ledger, whose config list must then match. A nil ledger
+// disables accounting.
 func NewPortfolio(configs []Config, ledger *Ledger) *Portfolio {
 	if len(configs) == 0 {
 		panic("sat: NewPortfolio with no configs")
 	}
-	p := &Portfolio{
-		engines: make([]*Solver, len(configs)),
-		configs: configs,
-		ledger:  ledger,
-	}
+	engines := make([]Engine, len(configs))
 	for i, cfg := range configs {
-		p.engines[i] = NewWith(cfg)
+		engines[i] = NewWith(cfg)
+	}
+	return NewEnginePortfolio(engines, ledger)
+}
+
+// NewEnginePortfolio builds a portfolio over pre-constructed engines of
+// any backend mix. Every engine must be fresh (the portfolio replays
+// one clause stream into all of them). Each non-nil ledger accumulates
+// the same per-slot statistics; by default engine i accounts into
+// ledger slot i (see SetLedgerSlots).
+func NewEnginePortfolio(engines []Engine, ledgers ...*Ledger) *Portfolio {
+	if len(engines) == 0 {
+		panic("sat: NewEnginePortfolio with no engines")
+	}
+	p := &Portfolio{engines: engines, slots: make([]int, len(engines))}
+	for i := range p.slots {
+		p.slots[i] = i
+	}
+	for _, l := range ledgers {
+		if l != nil {
+			p.ledgers = append(p.ledgers, l)
+		}
 	}
 	return p
+}
+
+// SetLedgerSlots maps engine positions to ledger slots — used when a
+// portfolio races a subset of a spec list (adaptive dropping) but must
+// keep accounting into the full list's ledger. len(slots) must equal
+// the engine count.
+func (p *Portfolio) SetLedgerSlots(slots []int) {
+	if len(slots) != len(p.engines) {
+		panic("sat: SetLedgerSlots length mismatch")
+	}
+	p.slots = slots
 }
 
 // Size returns the number of racing engines.
@@ -121,7 +157,7 @@ func (p *Portfolio) SolveAssuming(assumptions []Lit) Status {
 		cancels[i] = cancel
 		e.SetContext(cctx)
 		wg.Add(1)
-		go func(i int, e *Solver) {
+		go func(i int, e Engine) {
 			defer wg.Done()
 			results <- verdict{i, e.SolveAssuming(assumptions)}
 		}(i, e)
@@ -160,8 +196,12 @@ func (p *Portfolio) SolveAssuming(assumptions []Lit) Status {
 }
 
 func (p *Portfolio) record(st Status, winner int, deltas []Stats) {
-	if p.ledger != nil {
-		p.ledger.record(st, winner, deltas)
+	winnerSlot := -1
+	if winner >= 0 && winner < len(p.slots) {
+		winnerSlot = p.slots[winner]
+	}
+	for _, l := range p.ledgers {
+		l.record(st, winnerSlot, p.slots, deltas)
 	}
 }
 
@@ -199,6 +239,14 @@ type ConfigStats struct {
 	Conflicts int64 `json:"conflicts"`
 }
 
+// ChronicLoser is the one retirement predicate behind both mid-run
+// dropping (Ledger.Active) and cross-run learning (LearnedConfigs): the
+// engine has raced at least dropAfter times without a single win while
+// some engine did win (anyWins). With dropAfter <= 0 nothing retires.
+func (cs ConfigStats) ChronicLoser(dropAfter int64, anyWins bool) bool {
+	return anyWins && dropAfter > 0 && cs.Races >= dropAfter && cs.Wins == 0
+}
+
 // Ledger accumulates per-config win statistics across every race of one
 // or many portfolios built over the same config list. It is safe for
 // concurrent use (portfolios in different worker goroutines may share
@@ -217,25 +265,61 @@ func NewLedger(configs []Config) *Ledger {
 	return l
 }
 
-func (l *Ledger) record(st Status, winner int, deltas []Stats) {
+// NewLedgerLabels returns a ledger whose slots carry arbitrary engine
+// labels (canonical EngineSpec strings for heterogeneous portfolios).
+func NewLedgerLabels(labels []string) *Ledger {
+	l := &Ledger{stats: make([]ConfigStats, len(labels))}
+	for i, lab := range labels {
+		l.stats[i].Config = lab
+	}
+	return l
+}
+
+// record accounts one race: deltas[i] is engine i's spent work, slots[i]
+// the ledger slot it accounts into (nil slots = identity), winnerSlot
+// the deciding engine's slot (-1 when the race returned Unknown).
+func (l *Ledger) record(st Status, winnerSlot int, slots []int, deltas []Stats) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for i, d := range deltas {
-		if i >= len(l.stats) {
-			break
+		slot := i
+		if slots != nil {
+			slot = slots[i]
 		}
-		l.stats[i].Races++
-		l.stats[i].Conflicts += d.Conflicts
+		if slot < 0 || slot >= len(l.stats) {
+			continue
+		}
+		l.stats[slot].Races++
+		l.stats[slot].Conflicts += d.Conflicts
 	}
-	if st != Unknown && winner >= 0 && winner < len(l.stats) {
-		l.stats[winner].Wins++
+	if st != Unknown && winnerSlot >= 0 && winnerSlot < len(l.stats) {
+		l.stats[winnerSlot].Wins++
 		switch st {
 		case Sat:
-			l.stats[winner].SatWins++
+			l.stats[winnerSlot].SatWins++
 		case Unsat:
-			l.stats[winner].UnsatWins++
+			l.stats[winnerSlot].UnsatWins++
 		}
 	}
+}
+
+// Active reports which slots remain worth racing under the
+// ChronicLoser drop rule; with dropAfter <= 0 every slot stays active.
+func (l *Ledger) Active(dropAfter int64) []bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]bool, len(l.stats))
+	anyWins := false
+	for _, cs := range l.stats {
+		if cs.Wins > 0 {
+			anyWins = true
+			break
+		}
+	}
+	for i, cs := range l.stats {
+		out[i] = !cs.ChronicLoser(dropAfter, anyWins)
+	}
+	return out
 }
 
 // Snapshot returns a copy of the accumulated per-config statistics.

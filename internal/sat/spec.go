@@ -1,0 +1,425 @@
+package sat
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file defines the solver-spec grammar shared by every -solver and
+// -portfolio flag and by campaign plan serialization: a small language
+// naming which engine backend answers SAT queries (the internal CDCL
+// solver, an external DIMACS-pipe solver, or the BDD engine) and how it
+// is tuned. The grammar is pure data — parsing never touches the
+// filesystem or PATH — so campaign plans can be created on one machine
+// and executed on another; engine construction lives in internal/attack,
+// which can import the backend packages without a cycle.
+
+// EngineKind selects a solver backend.
+type EngineKind int
+
+// Available backends. EngineInternal is the in-process CDCL solver
+// (*Solver); EngineProcess pipes DIMACS to an external solver binary
+// (kissat, cadical, ...); EngineBDD decides queries exactly on ROBDDs
+// and returns Unknown when its node budget blows up, so portfolios fall
+// through to SAT.
+const (
+	EngineInternal EngineKind = iota
+	EngineProcess
+	EngineBDD
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineProcess:
+		return "process"
+	case EngineBDD:
+		return "bdd"
+	default:
+		return "internal"
+	}
+}
+
+// EngineSpec is the parsed form of one engine spec. Exactly the fields
+// relevant to Kind are meaningful:
+//
+//	internal[:<config>]   Config (sat.ParseConfig syntax)
+//	<name> | process:cmd=P  Cmd — the solver binary name (resolved on
+//	                        PATH at run time) or an explicit path
+//	bdd[:max-nodes=N]     MaxNodes — the ROBDD node budget (0 = the
+//	                      bdd package default of 1<<20)
+type EngineSpec struct {
+	Kind     EngineKind
+	Config   Config
+	Cmd      string
+	MaxNodes int
+}
+
+// InternalSpec wraps a solver configuration as an internal-engine spec.
+func InternalSpec(cfg Config) EngineSpec {
+	return EngineSpec{Kind: EngineInternal, Config: cfg.withDefaults()}
+}
+
+// String renders the canonical spec, which doubles as the engine's key
+// in portfolio win statistics. Internal engines render as their bare
+// Config.String() — exactly the pre-heterogeneous ledger labels, so
+// learned-portfolio matching spans runs of either vintage.
+func (s EngineSpec) String() string {
+	switch s.Kind {
+	case EngineProcess:
+		if isBareSolverName(s.Cmd) {
+			return s.Cmd
+		}
+		return "process:cmd=" + s.Cmd
+	case EngineBDD:
+		if s.MaxNodes > 0 {
+			return fmt.Sprintf("bdd:max-nodes=%d", s.MaxNodes)
+		}
+		return "bdd"
+	default:
+		return s.Config.String()
+	}
+}
+
+// EngineLabels returns the canonical label of every spec, in order —
+// the ledger slot names of a portfolio over the list.
+func EngineLabels(specs []EngineSpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// isBareSolverName reports whether cmd round-trips through the grammar
+// as a bare word (no path separators, no grammar metacharacters).
+func isBareSolverName(cmd string) bool {
+	if cmd == "" || strings.ContainsAny(cmd, "/\\:,= \t") {
+		return false
+	}
+	switch cmd {
+	case "internal", "bdd", "process", "dimacs":
+		return false // reserved words of the grammar
+	}
+	return true
+}
+
+// ParseEngineSpec parses one engine spec:
+//
+//	""                        the default internal engine
+//	"seed=3,restart=geometric"  internal engine, sat.ParseConfig syntax
+//	                          (the pre-heterogeneous -solver form)
+//	"internal:seed=7"         internal engine, explicit kind
+//	"kissat"                  external DIMACS solver, found on PATH
+//	"process:cmd=/opt/ks"     external DIMACS solver at a given path
+//	"bdd:max-nodes=1<<20"     BDD engine with a node budget
+//
+// Process-engine binaries are looked up when the engine is built, not
+// here: a plan mentioning kissat parses on a machine without it.
+func ParseEngineSpec(spec string) (EngineSpec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return InternalSpec(Config{}), nil
+	}
+	head, rest, hasOpts := strings.Cut(spec, ":")
+	if strings.Contains(head, "=") {
+		// No kind prefix: the whole spec is an internal config list
+		// (backward-compatible -solver form).
+		cfg, err := ParseConfig(spec)
+		if err != nil {
+			return EngineSpec{}, err
+		}
+		return InternalSpec(cfg), nil
+	}
+	switch head {
+	case "internal":
+		opts := ""
+		if hasOpts {
+			opts = rest
+		}
+		cfg, err := ParseConfig(opts)
+		if err != nil {
+			return EngineSpec{}, err
+		}
+		return InternalSpec(cfg), nil
+	case "bdd":
+		s := EngineSpec{Kind: EngineBDD}
+		if hasOpts {
+			for _, kv := range splitOpts(rest) {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return EngineSpec{}, fmt.Errorf("sat: bdd option %q is not key=value", kv)
+				}
+				switch k {
+				case "max-nodes", "nodes":
+					n, err := parseNodeCount(v)
+					if err != nil {
+						return EngineSpec{}, fmt.Errorf("sat: bdd option %q: %v", kv, err)
+					}
+					s.MaxNodes = n
+				default:
+					return EngineSpec{}, fmt.Errorf("sat: bdd option %q: unknown key", kv)
+				}
+			}
+		}
+		return s, nil
+	case "process", "dimacs":
+		s := EngineSpec{Kind: EngineProcess}
+		if hasOpts {
+			for _, kv := range splitOpts(rest) {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return EngineSpec{}, fmt.Errorf("sat: process option %q is not key=value", kv)
+				}
+				switch k {
+				case "cmd", "path":
+					s.Cmd = v
+				default:
+					return EngineSpec{}, fmt.Errorf("sat: process option %q: unknown key", kv)
+				}
+			}
+		}
+		if s.Cmd == "" {
+			return EngineSpec{}, fmt.Errorf("sat: process engine spec %q needs cmd=PATH", spec)
+		}
+		return s, nil
+	default:
+		// A bare word names an external solver binary to find on PATH.
+		if !isBareSolverName(head) {
+			return EngineSpec{}, fmt.Errorf("sat: malformed engine spec %q", spec)
+		}
+		s := EngineSpec{Kind: EngineProcess, Cmd: head}
+		if hasOpts {
+			for _, kv := range splitOpts(rest) {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return EngineSpec{}, fmt.Errorf("sat: solver option %q is not key=value", kv)
+				}
+				switch k {
+				case "cmd", "path":
+					s.Cmd = v
+				default:
+					return EngineSpec{}, fmt.Errorf("sat: solver option %q: unknown key", kv)
+				}
+			}
+		}
+		return s, nil
+	}
+}
+
+func splitOpts(s string) []string {
+	var out []string
+	for _, kv := range strings.Split(s, ",") {
+		if kv = strings.TrimSpace(kv); kv != "" {
+			out = append(out, kv)
+		}
+	}
+	return out
+}
+
+// parseNodeCount parses an integer with optional "1<<20" shift syntax.
+func parseNodeCount(v string) (int, error) {
+	if base, shift, ok := strings.Cut(v, "<<"); ok {
+		b, err1 := strconv.Atoi(strings.TrimSpace(base))
+		s, err2 := strconv.Atoi(strings.TrimSpace(shift))
+		if err1 != nil || err2 != nil || b < 1 || s < 0 || s > 40 {
+			return 0, fmt.Errorf("bad shift count %q", v)
+		}
+		return b << s, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad node count %q", v)
+	}
+	return n, nil
+}
+
+// ParseEngineList parses a heterogeneous -portfolio list into engine
+// specs. Entries are comma-separated; a comma-separated token containing
+// '=' continues the previous entry's option list (engine options
+// themselves use commas), so
+//
+//	internal:seed=7,restart=geometric,kissat,bdd:max-nodes=1<<18
+//
+// is three engines. A bare "internal" entry inherits base (the -solver
+// config); "internal:<opts>" stands alone. Duplicate canonical specs are
+// rejected — racing two identical engines wastes a core and collides
+// their win-statistics labels.
+func ParseEngineList(list string, base Config) ([]EngineSpec, error) {
+	var entries []string
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		// A bare key=value token (no kind prefix before the '=') continues
+		// the previous entry's options; anything else — a bare engine name
+		// or a kind:... prefix — starts a new entry. An entry that so far
+		// has no options at all ("internal", "bdd", "kissat") gains its
+		// first one with the ':' separator the single-spec grammar wants.
+		eq := strings.Index(tok, "=")
+		colon := strings.Index(tok, ":")
+		continuation := eq >= 0 && !(colon >= 0 && colon < eq)
+		if continuation && len(entries) > 0 {
+			sep := ","
+			if !strings.ContainsAny(entries[len(entries)-1], ":=") {
+				sep = ":"
+			}
+			entries[len(entries)-1] += sep + tok
+			continue
+		}
+		entries = append(entries, tok)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("sat: empty portfolio list %q", list)
+	}
+	specs := make([]EngineSpec, 0, len(entries))
+	seen := map[string]bool{}
+	for _, e := range entries {
+		var s EngineSpec
+		var err error
+		if e == "internal" {
+			s = InternalSpec(base)
+		} else if s, err = ParseEngineSpec(e); err != nil {
+			return nil, err
+		}
+		key := s.String()
+		if seen[key] {
+			return nil, fmt.Errorf("sat: portfolio lists engine %q twice", key)
+		}
+		seen[key] = true
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// ResolveSolverFlags is the one resolution of the -solver/-portfolio
+// flag pair, shared by the attack CLIs (attack.SolverSetupFromFlags),
+// the harness (exp.Config.ApplySolverFlags) and campaign plans, so a
+// flag pair means the same thing everywhere. solver is one engine spec.
+// portfolio is either an integer width — returned as width, racing N
+// derived internal variants of base — or an engine list, returned as
+// specs (width path and specs path are mutually exclusive: specs is
+// nil on the width path). A non-internal solver spec with no list
+// resolves to a single-entry specs; base stays the zero Config when
+// solver is empty, preserving "no flags = attack-default engine".
+func ResolveSolverFlags(solver, portfolio string) (base Config, width int, specs []EngineSpec, err error) {
+	spec, err := ParseEngineSpec(solver)
+	if err != nil {
+		return Config{}, 0, nil, err
+	}
+	portfolio = strings.TrimSpace(portfolio)
+	if portfolio != "" {
+		n, aerr := strconv.Atoi(portfolio)
+		if aerr != nil {
+			// Engine-list form. A non-internal -solver cannot act as the
+			// base the list's bare "internal" entries inherit.
+			if spec.Kind != EngineInternal {
+				return Config{}, 0, nil, fmt.Errorf("sat: -portfolio %q lists engines; -solver must then be an internal config, not %q", portfolio, solver)
+			}
+			specs, err = ParseEngineList(portfolio, spec.Config)
+			return Config{}, 0, specs, err
+		}
+		width = n
+	}
+	if spec.Kind != EngineInternal {
+		if width >= 2 {
+			return Config{}, 0, nil, fmt.Errorf("sat: -portfolio %d derives internal engine variants; race %q via the list form, e.g. -portfolio internal,%s", width, solver, solver)
+		}
+		return Config{}, 0, []EngineSpec{spec}, nil
+	}
+	if solver != "" {
+		base = spec.Config
+	}
+	return base, width, nil, nil
+}
+
+// LearnedConfigs reorders — and, with dropAfter > 0, prunes — an
+// engine-spec list from a prior run's recorded portfolio statistics:
+// specs are stably sorted by recorded wins (descending), and a spec that
+// raced at least dropAfter times in the prior run without winning once
+// is dropped, provided at least one recorded winner survives. Specs with
+// no recorded statistics are never dropped (nothing is known about
+// them). Learning only redistributes racing effort; it never changes a
+// decided verdict, because every surviving engine decides the same
+// formulas.
+func LearnedConfigs(specs []EngineSpec, prior []ConfigStats, dropAfter int64) []EngineSpec {
+	byLabel := make(map[string]ConfigStats, len(prior))
+	for _, cs := range prior {
+		byLabel[cs.Config] = cs
+	}
+	anyWins := false
+	for _, cs := range prior {
+		if cs.Wins > 0 {
+			anyWins = true
+			break
+		}
+	}
+	kept := make([]EngineSpec, 0, len(specs))
+	for _, s := range specs {
+		cs, known := byLabel[s.String()]
+		if known && cs.ChronicLoser(dropAfter, anyWins) {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	if len(kept) == 0 {
+		kept = append(kept[:0], specs...)
+	}
+	sort.SliceStable(kept, func(a, b int) bool {
+		return byLabel[kept[a].String()].Wins > byLabel[kept[b].String()].Wins
+	})
+	return kept
+}
+
+// MergeStats sums per-config statistics by config label across any
+// number of snapshot groups, preserving first-appearance order — the
+// aggregation behind fallbench's and campaign merge's per-engine win
+// report.
+func MergeStats(groups ...[]ConfigStats) []ConfigStats {
+	idx := map[string]int{}
+	var out []ConfigStats
+	for _, group := range groups {
+		for _, cs := range group {
+			i, ok := idx[cs.Config]
+			if !ok {
+				i = len(out)
+				idx[cs.Config] = i
+				out = append(out, ConfigStats{Config: cs.Config})
+			}
+			out[i].Races += cs.Races
+			out[i].Wins += cs.Wins
+			out[i].SatWins += cs.SatWins
+			out[i].UnsatWins += cs.UnsatWins
+			out[i].Conflicts += cs.Conflicts
+		}
+	}
+	return out
+}
+
+// WriteStatsFile persists a ledger snapshot as JSON — the
+// portfolio_stats.json file campaign merge writes and -learn-from
+// consumes.
+func WriteStatsFile(path string, stats []ConfigStats) error {
+	data, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadStatsFile loads a snapshot written by WriteStatsFile.
+func ReadStatsFile(path string) ([]ConfigStats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var stats []ConfigStats
+	if err := json.Unmarshal(data, &stats); err != nil {
+		return nil, fmt.Errorf("sat: parse stats file %s: %w", path, err)
+	}
+	return stats, nil
+}

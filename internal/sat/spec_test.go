@@ -1,0 +1,237 @@
+package sat
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseEngineSpecForms(t *testing.T) {
+	cases := []struct {
+		spec string
+		want EngineSpec
+	}{
+		{"", InternalSpec(Config{})},
+		{"seed=3,restart=geometric", InternalSpec(Config{Seed: 3, Restart: RestartGeometric})},
+		{"internal", InternalSpec(Config{})},
+		{"internal:seed=7", InternalSpec(Config{Seed: 7})},
+		{"kissat", EngineSpec{Kind: EngineProcess, Cmd: "kissat"}},
+		{"kissat:path=/opt/kissat", EngineSpec{Kind: EngineProcess, Cmd: "/opt/kissat"}},
+		{"process:cmd=/tmp/solver", EngineSpec{Kind: EngineProcess, Cmd: "/tmp/solver"}},
+		{"bdd", EngineSpec{Kind: EngineBDD}},
+		{"bdd:max-nodes=4096", EngineSpec{Kind: EngineBDD, MaxNodes: 4096}},
+		{"bdd:max-nodes=1<<20", EngineSpec{Kind: EngineBDD, MaxNodes: 1 << 20}},
+	}
+	for _, c := range cases {
+		got, err := ParseEngineSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseEngineSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseEngineSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		// Canonical strings round-trip.
+		again, err := ParseEngineSpec(got.String())
+		if err != nil || again != got {
+			t.Errorf("round trip of %q via %q: %+v, %v", c.spec, got.String(), again, err)
+		}
+	}
+}
+
+func TestParseEngineSpecRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"frobnicate=1",          // unknown internal config key
+		"internal:frobnicate=1", // same, explicit kind
+		"bdd:max-nodes=0",
+		"bdd:max-nodes=x",
+		"bdd:color=red",
+		"process",         // no cmd
+		"process:cmd=",    // empty cmd
+		"process:wrong=1", // unknown key
+		"kissat:verbose=1",
+		"a b",  // whitespace in a bare name
+		"a,b:", // comma in a bare name
+	} {
+		if got, err := ParseEngineSpec(spec); err == nil {
+			t.Errorf("ParseEngineSpec(%q) accepted a bad spec: %+v", spec, got)
+		}
+	}
+}
+
+func TestParseEngineList(t *testing.T) {
+	base := Config{Seed: 5}
+	specs, err := ParseEngineList("internal:seed=7,restart=geometric,kissat,bdd:max-nodes=1<<18", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EngineSpec{
+		InternalSpec(Config{Seed: 7, Restart: RestartGeometric}),
+		{Kind: EngineProcess, Cmd: "kissat"},
+		{Kind: EngineBDD, MaxNodes: 1 << 18},
+	}
+	if !reflect.DeepEqual(specs, want) {
+		t.Errorf("ParseEngineList = %+v, want %+v", specs, want)
+	}
+
+	// A bare "internal" entry inherits the -solver base config.
+	specs, err = ParseEngineList("internal,bdd", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0] != InternalSpec(base) {
+		t.Errorf("bare internal entry = %+v, want base %+v", specs[0], InternalSpec(base))
+	}
+
+	// A leading option token with no kind starts an implicit internal
+	// entry (the legacy -solver grammar embedded in a list).
+	specs, err = ParseEngineList("seed=3,restart=geometric,bdd", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0] != InternalSpec(Config{Seed: 3, Restart: RestartGeometric}) || specs[1].Kind != EngineBDD {
+		t.Errorf("implicit internal entry: %+v", specs)
+	}
+
+	// Options may follow a colon-less entry directly: the first
+	// continuation token supplies the ':' the single-spec grammar wants.
+	specs, err = ParseEngineList("internal,seed=3,restart=geometric,bdd,max-nodes=4096", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0] != InternalSpec(Config{Seed: 3, Restart: RestartGeometric}) ||
+		specs[1] != (EngineSpec{Kind: EngineBDD, MaxNodes: 4096}) {
+		t.Errorf("colon-less continuation: %+v", specs)
+	}
+
+	for _, bad := range []string{"", " , ", "internal,internal", "kissat,kissat", "bdd,frobnicate=1"} {
+		if specs, err := ParseEngineList(bad, Config{}); err == nil {
+			t.Errorf("ParseEngineList(%q) accepted a bad list: %+v", bad, specs)
+		}
+	}
+}
+
+func TestLearnedConfigs(t *testing.T) {
+	specs := []EngineSpec{
+		InternalSpec(Config{}),
+		{Kind: EngineBDD},
+		{Kind: EngineProcess, Cmd: "kissat"},
+	}
+	prior := []ConfigStats{
+		{Config: specs[0].String(), Races: 40, Wins: 5},
+		{Config: "bdd", Races: 40, Wins: 0},
+		{Config: "kissat", Races: 40, Wins: 35},
+	}
+
+	// Reorder only: kissat first (most wins), bdd last, nothing dropped.
+	got := LearnedConfigs(specs, prior, 0)
+	if len(got) != 3 || got[0].Cmd != "kissat" || got[1].Kind != EngineInternal || got[2].Kind != EngineBDD {
+		t.Errorf("reorder: %v", EngineLabels(got))
+	}
+
+	// Drop: bdd raced >= 20 times without a win while others won.
+	got = LearnedConfigs(specs, prior, 20)
+	if len(got) != 2 || got[0].Cmd != "kissat" || got[1].Kind != EngineInternal {
+		t.Errorf("drop: %v", EngineLabels(got))
+	}
+
+	// A spec with no recorded stats is never dropped.
+	unknown := append(specs, EngineSpec{Kind: EngineProcess, Cmd: "cadical"})
+	got = LearnedConfigs(unknown, prior, 20)
+	found := false
+	for _, s := range got {
+		if s.Cmd == "cadical" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unknown spec dropped: %v", EngineLabels(got))
+	}
+
+	// All losers: nothing is dropped (there is no winner to keep).
+	losers := []ConfigStats{
+		{Config: specs[0].String(), Races: 40},
+		{Config: "bdd", Races: 40},
+		{Config: "kissat", Races: 40},
+	}
+	if got := LearnedConfigs(specs, losers, 20); len(got) != 3 {
+		t.Errorf("all-loser prior dropped specs: %v", EngineLabels(got))
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	a := []ConfigStats{{Config: "seed=0", Races: 3, Wins: 2, SatWins: 1, UnsatWins: 1, Conflicts: 10}}
+	b := []ConfigStats{
+		{Config: "bdd", Races: 3, Wins: 1, SatWins: 1, Conflicts: 0},
+		{Config: "seed=0", Races: 4, Wins: 2, UnsatWins: 2, Conflicts: 7},
+	}
+	got := MergeStats(a, b)
+	want := []ConfigStats{
+		{Config: "seed=0", Races: 7, Wins: 4, SatWins: 1, UnsatWins: 3, Conflicts: 17},
+		{Config: "bdd", Races: 3, Wins: 1, SatWins: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeStats = %+v, want %+v", got, want)
+	}
+}
+
+func TestStatsFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "portfolio_stats.json")
+	stats := []ConfigStats{{Config: "seed=0", Races: 2, Wins: 1, SatWins: 1, Conflicts: 5}, {Config: "bdd", Races: 2}}
+	if err := WriteStatsFile(path, stats); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStatsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, stats) {
+		t.Errorf("round trip: %+v != %+v", got, stats)
+	}
+}
+
+// TestLedgerActiveAndSlots: slot-mapped recording accounts a subset race
+// into the full spec list's ledger, and Active implements the
+// chronic-loser drop rule.
+func TestLedgerActiveAndSlots(t *testing.T) {
+	l := NewLedgerLabels([]string{"a", "b", "c"})
+	// Engines race slots {0, 2}; slot 2 wins an UNSAT race.
+	l.record(Unsat, 2, []int{0, 2}, []Stats{{Conflicts: 4}, {Conflicts: 1}})
+	snap := l.Snapshot()
+	if snap[0].Races != 1 || snap[0].Conflicts != 4 || snap[0].Wins != 0 {
+		t.Errorf("slot 0: %+v", snap[0])
+	}
+	if snap[1].Races != 0 {
+		t.Errorf("slot 1 raced: %+v", snap[1])
+	}
+	if snap[2].Races != 1 || snap[2].Wins != 1 || snap[2].UnsatWins != 1 {
+		t.Errorf("slot 2: %+v", snap[2])
+	}
+
+	// Active: slot 0 has raced once without a win; dropAfter 1 drops it,
+	// dropAfter 2 keeps it, slot 1 (never raced) always stays.
+	if act := l.Active(1); act[0] || !act[1] || !act[2] {
+		t.Errorf("Active(1) = %v", act)
+	}
+	if act := l.Active(2); !act[0] || !act[1] || !act[2] {
+		t.Errorf("Active(2) = %v", act)
+	}
+	if act := l.Active(0); !act[0] || !act[1] || !act[2] {
+		t.Errorf("Active(0) = %v", act)
+	}
+}
+
+// TestEnginePortfolioMixedVerdicts: a heterogeneous portfolio (two
+// internal configs through the generic constructor) agrees with the
+// single engine on the verdict table.
+func TestEnginePortfolioMixedVerdicts(t *testing.T) {
+	for name, load := range instanceTable() {
+		want, _, _ := runInstance(Config{}, load)
+		engines := []Engine{NewWith(Config{}), NewWith(Config{Seed: 3, Phase: PhaseFalse})}
+		p := NewEnginePortfolio(engines, NewLedgerLabels([]string{"base", "neg"}))
+		load(p)
+		if got := p.Solve(); got != want {
+			t.Errorf("%s: portfolio verdict %v, single %v", name, got, want)
+		}
+	}
+}
