@@ -46,6 +46,7 @@ func main() {
 		portfolio  = flag.String("portfolio", "", "race engines per query, first verdict wins: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
 		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON document on stdout (recovered netlists print as BENCH on stderr)")
 	)
+	start := time.Now()
 	flag.Parse()
 	if *list {
 		for _, n := range attack.Names() {
@@ -103,9 +104,16 @@ func main() {
 	}
 	setup.FprintWinStats(os.Stderr)
 	if *jsonOut {
+		// The JSON result carries the end-to-end wall clock and the
+		// resolved engine labels, the same fields attackd persists in
+		// its job artifacts — CLI output and daemon artifacts diff
+		// field-for-field.
+		j := res.JSON()
+		j.WallNS = time.Since(start)
+		j.Engines = setup.EngineLabels()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res.JSON()); err != nil {
+		if err := enc.Encode(j); err != nil {
 			fatalf("encode result: %v", err)
 		}
 	} else {

@@ -1,0 +1,106 @@
+// Command attackd is the attack-as-a-service daemon: a long-running
+// HTTP/JSON front end over the attack registry. Clients POST a locked
+// circuit (BENCH format, plus an optional oracle circuit or key-confirm
+// candidate list) with an attack name and solver spec, get a job ID
+// back, poll GET /jobs/{id}, stream status via GET /jobs/{id}/events
+// (SSE or NDJSON), and fetch the result artifact from
+// GET /jobs/{id}/result.
+//
+//	attackd -addr :8080 -dir /var/lib/attackd
+//
+// Jobs persist as atomically written JSON files under -dir, so a
+// restarted daemon serves finished artifacts and resumes unfinished
+// jobs. SIGINT/SIGTERM drain gracefully: dispatch stops, in-flight
+// jobs get -drain to finish, stragglers are cancelled mid-solve and go
+// back to the queue for the next daemon. Backpressure is explicit:
+// a full queue or an over-rate tenant gets 429 + Retry-After.
+//
+// Exit codes: 0 clean shutdown after drain; 1 hard error (stderr
+// explains).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	_ "repro/internal/attack/all"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		dir        = flag.String("dir", "attackd-jobs", "job store directory (jobs survive restarts)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "job worker-pool size")
+		queueDepth = flag.Int("queue", 256, "bounded job-queue depth; submissions beyond it get 429")
+		tenantConc = flag.Int("tenant-concurrency", 0, "max concurrently running jobs per tenant (X-API-Key header; 0 = unlimited)")
+		tenantRate = flag.Float64("tenant-rate", 0, "per-tenant submission rate limit in jobs/second (0 = unlimited)")
+		tenantBurst = flag.Int("tenant-burst", 10, "per-tenant submission burst size")
+		jobWorkers = flag.Int("job-workers", runtime.GOMAXPROCS(0), "intra-attack worker cap per job")
+		jobTimeout = flag.Duration("job-timeout", 0, "time budget for jobs that set none (0 = unbounded)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace: in-flight jobs get this long to finish before being cancelled back to the queue")
+		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Dir:               *dir,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		TenantConcurrency: *tenantConc,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		JobWorkers:        *jobWorkers,
+		JobTimeout:        *jobTimeout,
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	fmt.Fprintf(os.Stderr, "attackd: listening on %s, job store %s\n", *addr, *dir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("%v", err)
+		}
+	}
+
+	// Shutdown order matters: close the listener first so no new jobs
+	// arrive, then drain the worker pool. Both phases share the grace
+	// budget; after it, in-flight solves are cancelled mid-query (the
+	// context-first plumbing makes that safe) and those jobs revert to
+	// queued on disk for the next daemon.
+	fmt.Fprintln(os.Stderr, "attackd: shutting down, draining jobs")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutdownCtx)
+	srv.Drain(*drain)
+	fmt.Fprintln(os.Stderr, "attackd: drained")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "attackd: "+format+"\n", args...)
+	os.Exit(1)
+}

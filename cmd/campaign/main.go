@@ -29,16 +29,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/genbench"
 	"repro/internal/sat"
+	"repro/internal/server"
 )
 
 func main() {
@@ -58,6 +61,8 @@ func main() {
 		cmdMerge(args)
 	case "status":
 		cmdStatus(args)
+	case "watch":
+		cmdWatch(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -68,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|retry|merge|status> [flags]
+	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|retry|merge|status|watch> [flags]
 
   plan    enumerate a campaign's cases into DIR/plan.json
   run     execute one shard, writing one artifact per completed case
@@ -76,6 +81,8 @@ func usage() {
   merge   reassemble artifacts into the Table I / Fig. 5 / Fig. 6 /
           summary reports (byte-identical to a monolithic run)
   status  show per-suite completion counts
+  watch   tail the artifact directories, printing per-case completion
+          events as they land (same event stream as the attackd daemon)
 
 run 'campaign <subcommand> -h' for flags.
 `)
@@ -281,6 +288,45 @@ func cmdMerge(args []string) {
 	case !m.Complete():
 		fmt.Fprintf(os.Stderr, "campaign: partial merge: %d case(s) missing\n", len(m.Missing))
 		os.Exit(3)
+	}
+}
+
+// cmdWatch tails the campaign's artifact directories and prints one
+// completion event per case as its artifact lands — the fleet-side
+// consumer of the same server.Event stream the attackd daemon serves
+// over /jobs/{id}/events. It blocks until the campaign is complete
+// (exit 0, or 2 when cases failed) or interrupted (exit 130).
+func cmdWatch(args []string) {
+	fs := flag.NewFlagSet("campaign watch", flag.ExitOnError)
+	dir, artifacts := dirFlags(fs)
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	ndjson := fs.Bool("ndjson", false, "emit raw NDJSON events (the daemon stream encoding) instead of human-readable lines")
+	fs.Parse(args)
+	p := loadPlan(*dir)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	failed := 0
+	emit := func(ev server.Event) {
+		failed = ev.Failed
+		if *ndjson {
+			server.WriteNDJSON(os.Stdout, ev)
+			return
+		}
+		switch ev.Type {
+		case server.EventCase:
+			fmt.Printf("campaign: %s %s (%d/%d)\n", ev.Case, ev.Status, ev.Done, ev.Total)
+		case server.EventComplete:
+			fmt.Printf("campaign: complete, %d/%d cases, %d failed\n", ev.Done, ev.Total, ev.Failed)
+		}
+	}
+	err := server.WatchCampaign(ctx, p, artifactDirs(*dir, *artifacts), *interval, emit)
+	switch {
+	case err != nil && ctx.Err() != nil:
+		os.Exit(130) // interrupted: the conventional SIGINT exit
+	case err != nil:
+		fatalf("%v", err)
+	case failed > 0:
+		os.Exit(2)
 	}
 }
 

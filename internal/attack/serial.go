@@ -53,6 +53,14 @@ type ResultJSON struct {
 	OracleQueries  int           `json:"oracle_queries"`
 	ElapsedNS      time.Duration `json:"elapsed_ns"`
 	RecoveredGates int           `json:"recovered_gates,omitempty"`
+	// WallNS is the end-to-end wall clock of the whole run including
+	// setup (circuit parsing, solver construction), where ElapsedNS is
+	// attack time only. Set by cmd/attack -json and attackd artifacts so
+	// CLI output and daemon artifacts carry the same fields.
+	WallNS time.Duration `json:"wall_ns,omitempty"`
+	// Engines lists the resolved solver engine labels the run raced
+	// (SolverSetup.EngineLabels): ["internal"] for the default engine.
+	Engines []string `json:"engines,omitempty"`
 }
 
 // JSON returns the serializable view of the result.

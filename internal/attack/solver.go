@@ -211,6 +211,31 @@ func SolverSetupFromFlags(solver, portfolio string) (*SolverSetup, error) {
 	return NewSolverSetup(base, width), nil
 }
 
+// EngineLabels returns the canonical label of every engine the setup
+// resolves to, in racing order — ["internal"] for a nil setup or the
+// all-default single engine, the per-variant config strings for a
+// derived-width portfolio, the spec labels for a heterogeneous list.
+// This is the "engines" field of ResultJSON and of attackd artifacts.
+func (s *SolverSetup) EngineLabels() []string {
+	if s == nil {
+		return []string{"internal"}
+	}
+	if len(s.Specs) > 0 {
+		return sat.EngineLabels(s.Specs)
+	}
+	if s.Portfolio >= 2 {
+		labels := make([]string, len(s.configs))
+		for i, c := range s.configs {
+			labels[i] = c.String()
+		}
+		return labels
+	}
+	if lbl := s.Label(); lbl != "" {
+		return []string{lbl}
+	}
+	return []string{"internal"}
+}
+
 // FprintStats writes one racing-statistics line per engine — the
 // shared rendering of the CLIs' stderr reports.
 func FprintStats(w io.Writer, stats []sat.ConfigStats) {

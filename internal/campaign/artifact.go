@@ -73,21 +73,18 @@ func ArtifactPath(dir, caseID string) string {
 	return filepath.Join(dir, ArtifactFileName(caseID))
 }
 
-// WriteArtifact persists the artifact atomically: it is encoded to a
-// temp file in the same directory and renamed into place, so a shard
-// killed mid-write leaves no partial artifact — only complete artifacts
-// are ever visible to resumes and merges.
-func WriteArtifact(dir string, a *Artifact) error {
-	data, err := json.MarshalIndent(a, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, ".tmp-artifact-*")
+// WriteFileAtomic writes data to dir/name through a temp file in the
+// same directory plus a rename, so a process killed mid-write leaves no
+// partial file — readers only ever observe complete files. This is the
+// durability primitive behind campaign artifacts and the attackd job
+// store.
+func WriteFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-"+name+"-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return err
@@ -96,11 +93,22 @@ func WriteArtifact(dir string, a *Artifact) error {
 		os.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, ArtifactFileName(a.CaseID))); err != nil {
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
 		os.Remove(tmpName)
 		return err
 	}
 	return nil
+}
+
+// WriteArtifact persists the artifact atomically (WriteFileAtomic), so
+// a shard killed mid-write leaves no partial artifact — only complete
+// artifacts are ever visible to resumes and merges.
+func WriteArtifact(dir string, a *Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(dir, ArtifactFileName(a.CaseID), append(data, '\n'))
 }
 
 // ReadArtifact loads one artifact file.

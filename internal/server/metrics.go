@@ -1,0 +1,79 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// Metrics is the GET /metrics document: queue pressure, job states,
+// per-tenant load, and the daemon-wide per-engine portfolio win ledger
+// aggregated (sat.MergeStats) across every finished job that raced.
+type Metrics struct {
+	UptimeNS   time.Duration `json:"uptime_ns"`
+	Workers    int           `json:"workers"`
+	QueueDepth int           `json:"queue_depth"`
+	QueueCap   int           `json:"queue_cap"`
+	Draining   bool          `json:"draining,omitempty"`
+	// Jobs counts jobs by lifecycle state.
+	Jobs map[JobState]int `json:"jobs"`
+	// Tenants reports per-tenant queued/running counts, keyed by
+	// tenant.
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
+	// Portfolio is the aggregated per-engine racing ledger.
+	Portfolio []sat.ConfigStats `json:"portfolio,omitempty"`
+}
+
+// TenantMetrics is one tenant's live load.
+type TenantMetrics struct {
+	Queued  int `json:"queued,omitempty"`
+	Running int `json:"running,omitempty"`
+}
+
+// Snapshot assembles the current metrics.
+func (s *Server) Snapshot() Metrics {
+	queued, running := s.queue.Snapshot()
+	s.mu.Lock()
+	m := Metrics{
+		UptimeNS:   time.Since(s.started),
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.queue.Depth(),
+		QueueCap:   s.cfg.QueueDepth,
+		Draining:   s.draining,
+		Jobs:       map[JobState]int{},
+		Portfolio:  sat.MergeStats(s.stats),
+	}
+	for _, j := range s.jobs {
+		m.Jobs[j.State]++
+	}
+	s.mu.Unlock()
+	if len(queued)+len(running) > 0 {
+		m.Tenants = map[string]TenantMetrics{}
+		for t, n := range queued {
+			tm := m.Tenants[t]
+			tm.Queued = n
+			m.Tenants[t] = tm
+		}
+		for t, n := range running {
+			tm := m.Tenants[t]
+			tm.Running = n
+			m.Tenants[t] = tm
+		}
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// Stats returns the aggregated per-engine win statistics in
+// first-seen label order (the sat.MergeStats convention).
+func (s *Server) Stats() []sat.ConfigStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]sat.ConfigStats, len(s.stats))
+	copy(out, s.stats)
+	return out
+}

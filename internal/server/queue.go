@@ -1,0 +1,188 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Enqueue when the bounded queue is at
+// capacity — the HTTP layer translates it into 429 + Retry-After
+// (backpressure instead of unbounded memory growth).
+var ErrQueueFull = errors.New("server: job queue full")
+
+type queueItem struct {
+	id     string
+	tenant string
+}
+
+// queue is the bounded FIFO job queue with per-tenant concurrency
+// fairness: Dequeue hands out the oldest job whose tenant is below its
+// running-job cap, so a tenant that saturates its own cap queues behind
+// itself without starving other tenants' jobs that arrived later.
+type queue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	capacity  int
+	tenantCap int // max concurrently running jobs per tenant; 0 = unlimited
+	items     []queueItem
+	running   map[string]int // tenant -> running count
+	closed    bool
+}
+
+func newQueue(capacity, tenantCap int) *queue {
+	q := &queue{capacity: capacity, tenantCap: tenantCap, running: map[string]int{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enqueue appends a job, failing with ErrQueueFull at capacity and
+// errQueueClosed once the daemon is draining.
+func (q *queue) Enqueue(id, tenant string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if len(q.items) >= q.capacity {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, queueItem{id: id, tenant: tenant})
+	q.cond.Broadcast()
+	return nil
+}
+
+var errQueueClosed = errors.New("server: daemon is shutting down")
+
+// Dequeue blocks until an eligible job is available (FIFO among jobs
+// whose tenant is under its cap) and claims a running slot for its
+// tenant. It returns ok == false once the queue is closed and no
+// eligible work remains — the worker-exit signal. Callers must pair
+// every successful Dequeue with a Release.
+func (q *queue) Dequeue() (id, tenant string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		// Closed means dispatch stops NOW: remaining items stay queued
+		// (they are already persisted as queued, so a later daemon
+		// resumes them) rather than being started mid-shutdown.
+		if q.closed {
+			return "", "", false
+		}
+		for i, it := range q.items {
+			if q.tenantCap > 0 && q.running[it.tenant] >= q.tenantCap {
+				continue
+			}
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			q.running[it.tenant]++
+			return it.id, it.tenant, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// Release returns a tenant's running slot, unblocking Dequeue for jobs
+// that were waiting on the tenant cap.
+func (q *queue) Release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.running[tenant] > 0 {
+		q.running[tenant]--
+		if q.running[tenant] == 0 {
+			delete(q.running, tenant)
+		}
+	}
+	q.cond.Broadcast()
+}
+
+// Remove deletes a queued job (DELETE /jobs/{id} before dispatch).
+func (q *queue) Remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.items {
+		if it.id == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Close stops dispatch: pending Dequeues return once no eligible work
+// remains, and further Enqueues fail. Jobs still in the queue stay
+// persisted as queued — a restarted daemon re-enqueues them.
+func (q *queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Depth returns the number of queued (not yet dispatched) jobs.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Snapshot returns queued and running counts per tenant.
+func (q *queue) Snapshot() (queued, running map[string]int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	queued = map[string]int{}
+	for _, it := range q.items {
+		queued[it.tenant]++
+	}
+	running = make(map[string]int, len(q.running))
+	for t, n := range q.running {
+		running[t] = n
+	}
+	return queued, running
+}
+
+// rateLimiter is a per-tenant token bucket over job submissions: rate
+// tokens/second with a burst-sized bucket. Allow reports whether a
+// submission may proceed now and, if not, how long until the next token
+// — the Retry-After the HTTP layer returns with 429.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second; <= 0 disables limiting
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+func (rl *rateLimiter) Allow(tenant string, now time.Time) (bool, time.Duration) {
+	if rl.rate <= 0 {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rate
+	b.last = now
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// WatchCampaign tails a campaign's artifact directories and emits one
+// EventCase per newly landed artifact plus a final EventComplete once
+// every planned case has one — the `campaign watch` subcommand, built
+// on the same Event type and stream encodings as the daemon's job
+// streams. Atomic artifact writes guarantee every file the watcher
+// reads is complete, so polling the directory is race-free by
+// construction (no partial-read guards needed).
+//
+// The watcher polls every interval (default 1s), emits events in plan
+// order within a poll, and returns nil once the campaign is complete,
+// or ctx.Err() when cancelled first. Artifacts from foreign plans are
+// an error, exactly as in a merge.
+func WatchCampaign(ctx context.Context, plan *campaign.Plan, dirs []string, interval time.Duration, emit func(Event)) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	seen := make(map[string]bool, len(plan.Cases))
+	var seq int64
+	done, failed := 0, 0
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		arts, err := campaign.ReadArtifacts(plan, dirs)
+		if err != nil {
+			return err
+		}
+		for _, pc := range plan.Cases {
+			a, ok := arts[pc.ID]
+			if !ok || seen[pc.ID] {
+				continue
+			}
+			seen[pc.ID] = true
+			done++
+			status := "ok"
+			if a.Failed() {
+				failed++
+				status = "FAILED"
+			}
+			seq++
+			emit(Event{
+				Seq: seq, Time: time.Now(), Type: EventCase,
+				Case: pc.ID, Status: status,
+				Done: done, Total: len(plan.Cases), Failed: failed,
+			})
+		}
+		if done == len(plan.Cases) {
+			seq++
+			emit(Event{
+				Seq: seq, Time: time.Now(), Type: EventComplete,
+				Done: done, Total: len(plan.Cases), Failed: failed,
+			})
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/exp"
+	"repro/internal/genbench"
+	"repro/internal/server"
+)
+
+// TestWatchCampaign fabricates a tiny campaign and lands artifacts
+// incrementally while the watcher polls: it must emit one case event
+// per artifact (marking failures), then a complete event, then return.
+func TestWatchCampaign(t *testing.T) {
+	plan, err := campaign.NewPlan(campaign.Config{
+		Specs:      genbench.Scaled(genbench.TableI, 16, 12)[:2],
+		Seed:       2024,
+		SATIterCap: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Cases) < 2 {
+		t.Fatalf("plan has %d cases, need >= 2", len(plan.Cases))
+	}
+	dir := t.TempDir()
+
+	events := make(chan server.Event, 4*len(plan.Cases))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	watchErr := make(chan error, 1)
+	go func() {
+		watchErr <- server.WatchCampaign(ctx, plan, []string{dir}, 10*time.Millisecond, func(ev server.Event) {
+			events <- ev
+		})
+	}()
+
+	// Land artifacts one at a time; the last one is a harness failure.
+	for i, pc := range plan.Cases {
+		a := &campaign.Artifact{PlanHash: plan.Hash, CaseID: pc.ID}
+		if i == len(plan.Cases)-1 {
+			a.Error = "injected failure"
+		} else {
+			a.Outcome = &exp.Outcome{Circuit: pc.Circuit, Attack: pc.Attack}
+		}
+		if err := campaign.WriteArtifact(dir, a); err != nil {
+			t.Fatal(err)
+		}
+		// The corresponding case event must arrive before we move on —
+		// this is what makes the watcher a progress stream rather than
+		// a batch summary.
+		select {
+		case ev := <-events:
+			if ev.Type != server.EventCase || ev.Case != pc.ID {
+				t.Fatalf("artifact %d: got event %+v, want case event for %s", i, ev, pc.ID)
+			}
+			wantStatus := "ok"
+			if i == len(plan.Cases)-1 {
+				wantStatus = "FAILED"
+			}
+			if ev.Status != wantStatus {
+				t.Errorf("case %s status = %q, want %q", pc.ID, ev.Status, wantStatus)
+			}
+			if ev.Done != i+1 || ev.Total != len(plan.Cases) {
+				t.Errorf("case %s progress = %d/%d, want %d/%d", pc.ID, ev.Done, ev.Total, i+1, len(plan.Cases))
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("no event for artifact %d within 30s", i)
+		}
+	}
+
+	select {
+	case ev := <-events:
+		if ev.Type != server.EventComplete {
+			t.Fatalf("got %+v, want complete event", ev)
+		}
+		if ev.Done != len(plan.Cases) || ev.Failed != 1 {
+			t.Errorf("complete event = %d done / %d failed, want %d / 1", ev.Done, ev.Failed, len(plan.Cases))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("no complete event")
+	}
+	if err := <-watchErr; err != nil {
+		t.Fatalf("watcher returned %v, want nil on completion", err)
+	}
+}
+
+// TestWatchCampaignCancelled checks a watcher on an incomplete
+// campaign returns the context error when cancelled.
+func TestWatchCampaignCancelled(t *testing.T) {
+	plan, err := campaign.NewPlan(campaign.Config{
+		Specs:      genbench.Scaled(genbench.TableI, 16, 12)[:1],
+		Seed:       2024,
+		SATIterCap: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = server.WatchCampaign(ctx, plan, []string{t.TempDir()}, 10*time.Millisecond, func(server.Event) {
+		t.Error("event emitted for empty directory")
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWatchCampaignForeignArtifact checks an artifact from a different
+// plan fails the watch instead of being silently mixed in.
+func TestWatchCampaignForeignArtifact(t *testing.T) {
+	plan, err := campaign.NewPlan(campaign.Config{
+		Specs:      genbench.Scaled(genbench.TableI, 16, 12)[:1],
+		Seed:       2024,
+		SATIterCap: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	foreign := &campaign.Artifact{PlanHash: "not-this-plan", CaseID: plan.Cases[0].ID}
+	if err := campaign.WriteArtifact(dir, foreign); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err = server.WatchCampaign(ctx, plan, []string{dir}, 10*time.Millisecond, func(server.Event) {})
+	if err == nil || ctx.Err() != nil {
+		t.Fatalf("err = %v, want plan-hash mismatch error", err)
+	}
+}
