@@ -29,6 +29,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/oracle"
+	"repro/internal/sat"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for attacks that parallelize internally (1 = serial)")
 		solver     = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL; see sat.ParseEngineSpec)")
 		portfolio  = flag.String("portfolio", "", "race engines per query, first verdict wins: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
+		memo       = flag.Bool("memo", false, "share a cross-query verdict cache across this run's solver queries (verdicts unchanged; hit statistics on stderr)")
 		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON document on stdout (recovered netlists print as BENCH on stderr)")
 	)
 	start := time.Now()
@@ -72,6 +74,12 @@ func main() {
 	}
 	if err := setup.Check(); err != nil {
 		fatalf("%v", err)
+	}
+	if *memo {
+		if setup == nil {
+			setup = &attack.SolverSetup{}
+		}
+		setup.Memo = sat.NewMemo(sat.DefaultMemoEntries)
 	}
 	tgt := attack.Target{
 		Locked:        parse(*lockedPath),
@@ -103,6 +111,10 @@ func main() {
 		fatalf("%v", err)
 	}
 	setup.FprintWinStats(os.Stderr)
+	if st := setup.MemoStats(); st != nil {
+		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses\n", st.Hits, st.Misses)
+	}
+	setup.Close()
 	if *jsonOut {
 		// The JSON result carries the end-to-end wall clock and the
 		// resolved engine labels, the same fields attackd persists in

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	_ "repro/internal/attack/all"
+	"repro/internal/sat"
 	"repro/internal/server"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "time budget for jobs that set none (0 = unbounded)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace: in-flight jobs get this long to finish before being cancelled back to the queue")
 		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
+		memo       = flag.Bool("memo", false, "share a daemon-global cross-query verdict cache across all jobs (verdicts unchanged; hit counters in /metrics)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,9 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr
+	}
+	if *memo {
+		cfg.Memo = sat.NewMemo(sat.DefaultMemoEntries)
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

@@ -186,11 +186,12 @@ func cmdPlan(args []string) {
 }
 
 // runFlags declares the flags shared by run and retry on fs.
-func runFlags(fs *flag.FlagSet) (shardIndex, shardCount, workers *int, quiet *bool, learnFrom *string) {
+func runFlags(fs *flag.FlagSet) (shardIndex, shardCount, workers *int, quiet, memo *bool, learnFrom *string) {
 	shardIndex = fs.Int("shard-index", 0, "this shard's index in [0, shard-count)")
 	shardCount = fs.Int("shard-count", 1, "total number of shards")
 	workers = fs.Int("workers", runtime.GOMAXPROCS(0), "cases run concurrently (1 = serial)")
 	quiet = fs.Bool("quiet", false, "suppress per-case progress lines")
+	memo = fs.Bool("memo", false, "share a cross-query verdict cache across the shard's cases (verdicts unchanged; hit statistics in artifacts)")
 	learnFrom = fs.String("learn-from", "", "portfolio-stats JSON (e.g. a prior merge's portfolio_stats.json); reorders/prunes the racing engines")
 	return
 }
@@ -198,7 +199,7 @@ func runFlags(fs *flag.FlagSet) (shardIndex, shardCount, workers *int, quiet *bo
 func runShard(name string, args []string, retry bool) {
 	fs := flag.NewFlagSet("campaign "+name, flag.ExitOnError)
 	dir, artifacts := dirFlags(fs)
-	shardIndex, shardCount, workers, quiet, learnFrom := runFlags(fs)
+	shardIndex, shardCount, workers, quiet, memo, learnFrom := runFlags(fs)
 	fs.Parse(args)
 	p := loadPlan(*dir)
 	dirs := artifactDirs(*dir, *artifacts)
@@ -228,6 +229,7 @@ func runShard(name string, args []string, retry bool) {
 		ShardCount: *shardCount,
 		Workers:    *workers,
 		LearnFrom:  *learnFrom,
+		Memo:       *memo,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
@@ -280,6 +282,9 @@ func cmdMerge(args []string) {
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "campaign: per-engine win statistics written to %s\n", path)
+	}
+	if st := m.MemoStats(); st != nil {
+		fmt.Fprintf(os.Stderr, "campaign: memo: %d hits / %d misses across artifacts\n", st.Hits, st.Misses)
 	}
 	switch {
 	case len(m.Failed) > 0:

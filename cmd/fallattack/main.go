@@ -22,6 +22,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cnf"
 	"repro/internal/fall"
+	"repro/internal/sat"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "candidate analyses run concurrently (1 = serial; shortlist is identical either way)")
 		solver    = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL)")
 		portfolio = flag.String("portfolio", "", "race engines per analysis query: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
+		memo      = flag.Bool("memo", false, "share a cross-query verdict cache across the analyses (verdicts unchanged; hit statistics on stderr)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -87,11 +89,21 @@ func main() {
 	if err := setup.Check(); err != nil {
 		fatalf("%v", err)
 	}
+	if *memo {
+		if setup == nil {
+			setup = &attack.SolverSetup{}
+		}
+		setup.Memo = sat.NewMemo(sat.DefaultMemoEntries)
+	}
 	out, err := fall.New(opts).Run(ctx, attack.Target{Locked: locked, H: *h, Workers: *workers, Solver: setup.Factory()})
 	if err != nil {
 		fatalf("attack: %v", err)
 	}
 	setup.FprintWinStats(os.Stderr)
+	if st := setup.MemoStats(); st != nil {
+		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses\n", st.Hits, st.Misses)
+	}
+	setup.Close()
 	res := out.Details.(*fall.Result)
 	fmt.Printf("status: %s\n", out.Status)
 	fmt.Printf("comparators: %d (pairing %d circuit inputs)\n", len(res.Comparators), len(res.CompX))

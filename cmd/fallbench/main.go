@@ -27,6 +27,9 @@
 //	               without a win
 //	-stats-out F   persist the aggregated per-engine win statistics as
 //	               JSON (feeds -learn-from of a later run)
+//	-memo          share a cross-query verdict cache across every attack
+//	               and scoring miter (verdicts unchanged; hit statistics
+//	               and per-case encode/solve splits land on stderr)
 //
 // Results go to stdout, diagnostics — including the aggregated
 // per-engine portfolio win statistics — to stderr, so racing runs diff
@@ -69,6 +72,7 @@ func main() {
 		learnFrom  = flag.String("learn-from", "", "portfolio-stats JSON from a prior run; reorders/prunes the engine list before racing")
 		adaptAfter = flag.Int64("adapt-after", 0, "retire an engine mid-run after it loses this many races without a win (0 = never)")
 		statsOut   = flag.String("stats-out", "", "write the aggregated per-engine win statistics to this JSON file")
+		memo       = flag.Bool("memo", false, "share a cross-query verdict cache across every attack and scoring miter (verdicts unchanged; hit statistics on stderr)")
 	)
 	flag.Parse()
 
@@ -100,6 +104,9 @@ func main() {
 		}
 	} else if *adaptAfter > 0 || *learnFrom != "" {
 		fatalf("-adapt-after/-learn-from need a -portfolio engine list to act on")
+	}
+	if *memo {
+		cfg.Memo = sat.NewMemo(sat.DefaultMemoEntries)
 	}
 
 	var level exp.HLevel
@@ -161,6 +168,29 @@ func main() {
 		allOuts = append(allOuts, outs...)
 		fmt.Print(exp.FormatSummary(s))
 	}
+	// Per-case encode/solve wall-time split (recorded whenever a solver
+	// setup exists): solve is the time spent inside the SAT engines, the
+	// remainder is encoding and attack bookkeeping. Stderr like every
+	// diagnostic, so stdout diffs stay clean.
+	printSplit := func(label string, total time.Duration, solveNS int64) {
+		if solveNS <= 0 {
+			return
+		}
+		encode := total - time.Duration(solveNS)
+		if encode < 0 {
+			encode = 0
+		}
+		fmt.Fprintf(os.Stderr, "case %-32s encode=%-12v solve=%v\n",
+			label, encode.Round(time.Microsecond), time.Duration(solveNS).Round(time.Microsecond))
+	}
+	for _, o := range allOuts {
+		printSplit(fmt.Sprintf("%s/%s/%s", o.Circuit, o.Level.Token(), o.Attack), o.Time, o.SolveNS)
+	}
+	for i := range allFigs {
+		r := &allFigs[i]
+		printSplit(fmt.Sprintf("%s/%s/keyconfirm", r.Circuit, r.Level.Token()), r.KCElapsed, r.KCSolveNS)
+		printSplit(fmt.Sprintf("%s/%s/%s", r.SA.Circuit, r.SA.Level.Token(), r.SA.Attack), r.SA.Time, r.SA.SolveNS)
+	}
 	// Racing statistics go to stderr: stdout must stay verdict-only so
 	// portfolio runs diff byte-identical against single-engine runs.
 	if stats := exp.WinStats(allOuts, allFigs); len(stats) > 0 {
@@ -170,6 +200,15 @@ func main() {
 				fatalf("stats-out: %v", err)
 			}
 		}
+	}
+	if cfg.Memo != nil {
+		st := cfg.Memo.Stats()
+		rate := 0.0
+		if st.Total() > 0 {
+			rate = 100 * float64(st.Hits) / float64(st.Total())
+		}
+		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
+			st.Hits, st.Misses, rate, cfg.Memo.Len())
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "fallbench: %d attack run(s) failed\n", failed)

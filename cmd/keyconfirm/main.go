@@ -22,6 +22,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/keyconfirm"
 	"repro/internal/oracle"
+	"repro/internal/sat"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "key-space partitions searched concurrently in phi=true mode (1 = serial)")
 		solver     = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL)")
 		portfolio  = flag.String("portfolio", "", "race engines per query: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
+		memo       = flag.Bool("memo", false, "share a cross-query verdict cache across the P/Q/D solvers (verdicts unchanged; hit statistics on stderr)")
 	)
 	flag.Parse()
 	if *lockedPath == "" || *oraclePath == "" {
@@ -66,6 +68,12 @@ func main() {
 	if err := setup.Check(); err != nil {
 		fatalf("%v", err)
 	}
+	if *memo {
+		if setup == nil {
+			setup = &attack.SolverSetup{}
+		}
+		setup.Memo = sat.NewMemo(sat.DefaultMemoEntries)
+	}
 	atk := keyconfirm.New(keyconfirm.Options{DisableDoubleDIP: *pureAlg4})
 	res, err := atk.Run(ctx, attack.Target{
 		Locked:     locked,
@@ -78,6 +86,10 @@ func main() {
 		fatalf("%v", err)
 	}
 	setup.FprintWinStats(os.Stderr)
+	if st := setup.MemoStats(); st != nil {
+		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses\n", st.Hits, st.Misses)
+	}
+	setup.Close()
 	fmt.Printf("status: %s, iterations: %d, oracle queries: %d, elapsed: %v\n",
 		res.Status, res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
 	if res.Status == attack.StatusTimeout {

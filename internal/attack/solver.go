@@ -6,6 +6,9 @@ import (
 	"io"
 	"os/exec"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/sat"
 	"repro/internal/sat/bddengine"
@@ -50,9 +53,21 @@ type SolverSetup struct {
 	// AdaptAfter decision — so losses observed in earlier cases of a
 	// campaign shard retire an engine for later ones.
 	Global *sat.Ledger
+	// Memo, when non-nil, wraps every engine the factory builds in a
+	// verdict-memoizing layer (sat.MemoEngine) sharing this cache, so
+	// identical (prefix, delta, assumptions) queries — across cells,
+	// iterations, or whole runs handing around the same cache — are
+	// answered without solving. Hit/miss counters accumulate in the
+	// setup (MemoStats).
+	Memo *sat.Memo
 
 	configs []sat.Config
 	ledger  *sat.Ledger
+	memoCtr sat.MemoCounters
+	solveNS atomic.Int64
+
+	mu    sync.Mutex
+	hosts map[int]*procengine.Host // persistent-session hosts by spec slot
 }
 
 // NewSolverSetup derives the portfolio configs (sat.PortfolioConfigs)
@@ -95,13 +110,18 @@ func (s *SolverSetup) Check() error {
 	return nil
 }
 
-// buildEngine constructs one backend engine for a spec, bound to ctx.
-func buildEngine(ctx context.Context, spec sat.EngineSpec) sat.Engine {
+// buildEngine constructs one backend engine for the spec in slot, bound
+// to ctx. Persistent process specs answer through a long-lived per-slot
+// host session (one subprocess per slot per setup) instead of a
+// per-query dump/respawn.
+func (s *SolverSetup) buildEngine(ctx context.Context, slot int, spec sat.EngineSpec) sat.Engine {
 	var e sat.Engine
-	switch spec.Kind {
-	case sat.EngineProcess:
+	switch {
+	case spec.Kind == sat.EngineProcess && spec.Persistent:
+		e = procengine.NewPersistent(s.hostFor(slot, spec))
+	case spec.Kind == sat.EngineProcess:
 		e = procengine.New(spec.Cmd)
-	case sat.EngineBDD:
+	case spec.Kind == sat.EngineBDD:
 		e = bddengine.New(spec.MaxNodes)
 	default:
 		e = sat.NewWith(spec.Config)
@@ -110,6 +130,56 @@ func buildEngine(ctx context.Context, spec sat.EngineSpec) sat.Engine {
 		e.SetContext(ctx)
 	}
 	return e
+}
+
+// hostFor returns (creating on first use) the persistent-session host
+// for a spec slot.
+func (s *SolverSetup) hostFor(slot int, spec sat.EngineSpec) *procengine.Host {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hosts == nil {
+		s.hosts = make(map[int]*procengine.Host)
+	}
+	h, ok := s.hosts[slot]
+	if !ok {
+		h = procengine.NewHost(spec.Cmd)
+		s.hosts[slot] = h
+	}
+	return h
+}
+
+// Hosts returns the persistent-session hosts created so far, keyed by
+// spec slot (tests assert spawn counts through them).
+func (s *SolverSetup) Hosts() map[int]*procengine.Host {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]*procengine.Host, len(s.hosts))
+	for k, v := range s.hosts {
+		out[k] = v
+	}
+	return out
+}
+
+// Close shuts down any persistent solver sessions the setup spawned.
+// Safe on a nil or session-less setup; engines already built fall back
+// to one-shot solving if used afterwards.
+func (s *SolverSetup) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, h := range s.hosts {
+		if err := h.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.hosts = nil
+	return first
 }
 
 // activeSlots returns the Specs indices still worth racing under the
@@ -151,29 +221,110 @@ func (s *SolverSetup) Factory() SolverFactory {
 		return func(ctx context.Context) sat.Engine {
 			active := s.activeSlots()
 			if len(s.Specs) == 1 {
-				return buildEngine(ctx, s.Specs[0])
+				return s.wrap(s.buildEngine(ctx, 0, s.Specs[0]), ctx)
 			}
 			engines := make([]sat.Engine, len(active))
 			for i, slot := range active {
-				engines[i] = buildEngine(ctx, s.Specs[slot])
+				engines[i] = s.buildEngine(ctx, slot, s.Specs[slot])
 			}
 			p := sat.NewEnginePortfolio(engines, s.ledger, s.Global)
 			p.SetLedgerSlots(active)
 			p.SetContext(ctx)
-			return p
+			return s.wrap(p, ctx)
 		}
 	}
 	return func(ctx context.Context) sat.Engine {
 		if s.Portfolio >= 2 {
 			p := sat.NewPortfolio(s.configs, s.ledger)
 			p.SetContext(ctx)
-			return p
+			return s.wrap(p, ctx)
 		}
 		e := sat.NewWith(s.Base)
 		if ctx != nil {
 			e.SetContext(ctx)
 		}
-		return e
+		return s.wrap(e, ctx)
+	}
+}
+
+// wrap layers the setup's cross-cutting engine middleware over a built
+// engine: the shared verdict memo (when enabled) and the solve-time
+// accumulator. Verdicts and models are unchanged — the memo replays
+// query history on misses so cached and uncached runs are
+// state-identical, and the timer only observes.
+func (s *SolverSetup) wrap(e sat.Engine, ctx context.Context) sat.Engine {
+	if s.Memo != nil {
+		me := sat.NewMemoEngine(s.Memo, &s.memoCtr, e)
+		if ctx != nil {
+			me.SetContext(ctx)
+		}
+		e = me
+	}
+	return &timedEngine{inner: e, ns: &s.solveNS}
+}
+
+// SolveTime returns the cumulative wall time engines built by this
+// setup spent inside Solve/SolveAssuming — the solve share of an
+// attack's runtime, as opposed to encoding and bookkeeping. Zero for a
+// nil setup.
+func (s *SolverSetup) SolveTime() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.solveNS.Load())
+}
+
+// MemoStats returns the setup's verdict-cache hit/miss counters; nil
+// when memoization is off.
+func (s *SolverSetup) MemoStats() *sat.MemoStats {
+	if s == nil || s.Memo == nil {
+		return nil
+	}
+	st := s.memoCtr.Snapshot()
+	return &st
+}
+
+// timedEngine accumulates SolveAssuming wall time into the setup's
+// counter. It forwards frozen-prefix priming so the engines below it
+// keep their O(1) loading.
+type timedEngine struct {
+	inner sat.Engine
+	ns    *atomic.Int64
+}
+
+func (t *timedEngine) NewVar() int                    { return t.inner.NewVar() }
+func (t *timedEngine) NumVars() int                   { return t.inner.NumVars() }
+func (t *timedEngine) AddClause(lits ...sat.Lit) bool { return t.inner.AddClause(lits...) }
+func (t *timedEngine) Solve() sat.Status              { return t.SolveAssuming(nil) }
+
+func (t *timedEngine) SolveAssuming(assumptions []sat.Lit) sat.Status {
+	start := time.Now()
+	st := t.inner.SolveAssuming(assumptions)
+	t.ns.Add(int64(time.Since(start)))
+	return st
+}
+
+func (t *timedEngine) Value(v int) bool               { return t.inner.Value(v) }
+func (t *timedEngine) LitTrue(l sat.Lit) bool         { return t.inner.LitTrue(l) }
+func (t *timedEngine) SetContext(ctx context.Context) { t.inner.SetContext(ctx) }
+func (t *timedEngine) Stats() sat.Stats               { return t.inner.Stats() }
+func (t *timedEngine) LoadFrozen(f *sat.Frozen)       { sat.Prime(t.inner, f) }
+
+var _ sat.FrozenLoader = (*timedEngine)(nil)
+
+// unwrapEngine peels the setup's middleware layers off an engine built
+// by Factory, exposing the underlying solver (e.g. for portfolio
+// introspection in tests).
+func unwrapEngine(e sat.Engine) sat.Engine {
+	for {
+		switch w := e.(type) {
+		case *timedEngine:
+			e = w.inner
+		case *sat.MemoEngine:
+			e = w.Inner()
+		default:
+			return e
+		}
 	}
 }
 

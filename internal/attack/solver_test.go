@@ -142,9 +142,9 @@ func TestAdaptiveDrop(t *testing.T) {
 	f := setup.Factory()
 	for i := 0; i < 3; i++ {
 		e := f(context.Background())
-		p, ok := e.(*sat.Portfolio)
+		p, ok := unwrapEngine(e).(*sat.Portfolio)
 		if !ok {
-			t.Fatalf("round %d: factory built %T, want *sat.Portfolio", i, e)
+			t.Fatalf("round %d: factory built %T, want *sat.Portfolio", i, unwrapEngine(e))
 		}
 		if i < 2 && p.Size() != 2 {
 			t.Fatalf("round %d: portfolio size %d, want 2", i, p.Size())
@@ -190,9 +190,12 @@ func TestGlobalLedgerDrivesDrop(t *testing.T) {
 	second := NewSolverSetupEngines(specs)
 	second.AdaptAfter, second.Global = 2, global
 	e := second.Factory()(context.Background())
-	p, ok := e.(*sat.Portfolio)
-	if !ok || p.Size() != 1 {
-		t.Fatalf("fresh setup still races the chronic loser: %T size %d", e, p.Size())
+	p, ok := unwrapEngine(e).(*sat.Portfolio)
+	if !ok {
+		t.Fatalf("fresh setup built %T, want *sat.Portfolio", unwrapEngine(e))
+	}
+	if p.Size() != 1 {
+		t.Fatalf("fresh setup still races the chronic loser: size %d", p.Size())
 	}
 	// The fresh setup's own per-run stats start clean.
 	for _, cs := range second.WinStats() {

@@ -70,6 +70,38 @@ func (m *MergeResult) WinStats() []sat.ConfigStats {
 	return sat.MergeStats(groups...)
 }
 
+// MemoStats aggregates the verdict-cache hit/miss counters recorded
+// across every artifact (attack outcomes, Fig. 6 key-confirmation
+// pipelines and their SAT-attack halves). Nil when no shard ran with
+// memoization enabled.
+func (m *MergeResult) MemoStats() *sat.MemoStats {
+	var total sat.MemoStats
+	found := false
+	add := func(st *sat.MemoStats) {
+		if st != nil {
+			total = total.Add(*st)
+			found = true
+		}
+	}
+	for _, pc := range m.Plan.Cases {
+		a, ok := m.Artifacts[pc.ID]
+		if !ok {
+			continue
+		}
+		if a.Outcome != nil {
+			add(a.Outcome.MemoStats)
+		}
+		if a.Fig6 != nil {
+			add(a.Fig6.KCMemoStats)
+			add(a.Fig6.SA.MemoStats)
+		}
+	}
+	if !found {
+		return nil
+	}
+	return &total
+}
+
 // Render writes the plan's report suites in order, reassembled from the
 // artifacts, using the exact formatting of the monolithic
 // exp/fallbench output — a merge over any sharding is byte-identical to

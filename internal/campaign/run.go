@@ -33,6 +33,11 @@ type RunOptions struct {
 	// racing effort only; verdicts and artifacts' verdict fields are
 	// unaffected.
 	LearnFrom string
+	// Memo shares one cross-query verdict cache across the shard's
+	// cases (sat.NewMemo). Verdicts are unchanged — memoized artifacts
+	// additionally carry solve-time and hit/miss diagnostics, which a
+	// merge aggregates.
+	Memo bool
 
 	// afterArtifact is a test seam invoked after each artifact lands on
 	// disk (used to kill a shard deterministically mid-flight).
@@ -97,6 +102,9 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 		if plan.Config.AdaptAfter > 0 {
 			expCfg.Adapt = sat.NewLedgerLabels(sat.EngineLabels(expCfg.Engines))
 		}
+	}
+	if opts.Memo {
+		expCfg.Memo = sat.NewMemo(sat.DefaultMemoEntries)
 	}
 
 	report := &RunReport{ShardCases: len(idxs)}
@@ -216,6 +224,11 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 	}
 	if writeErr != nil {
 		return report, writeErr
+	}
+	if expCfg.Memo != nil && opts.Log != nil {
+		st := expCfg.Memo.Stats()
+		fmt.Fprintf(opts.Log, "campaign: memo: %d hits / %d misses (%d entries)\n",
+			st.Hits, st.Misses, expCfg.Memo.Len())
 	}
 	return report, ctx.Err()
 }

@@ -163,6 +163,13 @@ type Config struct {
 	// AdaptAfter decision across cases; nil confines adaptation to each
 	// single attack run. Like Workers it is never serialized.
 	Adapt *sat.Ledger
+	// Memo is the runtime-only cross-query verdict cache shared by every
+	// solver the run builds (sat.NewMemo); nil disables memoization.
+	// Attaching a memo forces a solver setup even for otherwise-default
+	// configs, so memoized outcomes carry solve-time and hit/miss fields
+	// (verdicts and keys are unchanged — the memo replays query history
+	// on misses). Like Workers and Adapt it is never serialized.
+	Memo *sat.Memo
 }
 
 // ApplySolverFlags resolves the -solver/-portfolio flag grammar
@@ -183,16 +190,24 @@ func (cfg *Config) ApplySolverFlags(solver, portfolio string) error {
 // engine), keeping default outcomes byte-identical to pre-portfolio
 // artifacts.
 func (cfg Config) solverSetup() *attack.SolverSetup {
-	if len(cfg.Engines) > 0 {
-		s := attack.NewSolverSetupEngines(cfg.Engines)
+	var s *attack.SolverSetup
+	switch {
+	case len(cfg.Engines) > 0:
+		s = attack.NewSolverSetupEngines(cfg.Engines)
 		s.AdaptAfter = cfg.AdaptAfter
 		s.Global = cfg.Adapt
-		return s
-	}
-	if cfg.Portfolio < 2 && cfg.Solver == (sat.Config{}) {
+	case cfg.Portfolio >= 2 || cfg.Solver != (sat.Config{}):
+		s = attack.NewSolverSetup(cfg.Solver, cfg.Portfolio)
+	case cfg.Memo != nil:
+		// A zero-value setup builds exactly the default engine, so the
+		// memo can attach without changing verdicts or artifacts beyond
+		// the memo/solve-time fields themselves.
+		s = &attack.SolverSetup{}
+	default:
 		return nil
 	}
-	return attack.NewSolverSetup(cfg.Solver, cfg.Portfolio)
+	s.Memo = cfg.Memo
+	return s
 }
 
 // workers resolves the effective harness pool size.
@@ -374,6 +389,15 @@ type Outcome struct {
 	// miters) when portfolio racing was enabled. Wins and conflicts are
 	// scheduling-dependent diagnostics; verdict fields never are.
 	PortfolioStats []sat.ConfigStats `json:"portfolio_stats,omitempty"`
+	// SolveNS is the cumulative wall time (ns) the run's engines spent
+	// inside Solve/SolveAssuming — the solve share of Time, the rest
+	// being encoding and bookkeeping. Recorded only when a solver setup
+	// exists (solver flags or memoization); a timing diagnostic like
+	// conflict counts, never a verdict input.
+	SolveNS int64 `json:"solve_ns,omitempty"`
+	// MemoStats carries the verdict-cache hit/miss counters when
+	// cross-query memoization was enabled.
+	MemoStats *sat.MemoStats `json:"memo_stats,omitempty"`
 }
 
 // WinStats aggregates the per-engine racing statistics recorded across
@@ -425,6 +449,20 @@ func scoreShortlist(ctx context.Context, cs *Case, keys []attack.Key, cfg Config
 	out.Solved = out.Equivalent
 }
 
+// finishSolver records the setup's timing and memoization diagnostics
+// into the outcome and releases any persistent solver processes it
+// spawned. Nil-safe: a nil setup (the baseline default engine) records
+// nothing, keeping default artifacts byte-identical.
+func finishSolver(setup *attack.SolverSetup, out *Outcome) {
+	if setup == nil {
+		return
+	}
+	out.PortfolioStats = setup.WinStats()
+	out.SolveNS = int64(setup.SolveTime())
+	out.MemoStats = setup.MemoStats()
+	setup.Close()
+}
+
 // attackCtx derives the per-run context implementing cfg.Timeout.
 func attackCtx(ctx context.Context, cfg Config) (context.Context, context.CancelFunc) {
 	if cfg.Timeout > 0 {
@@ -449,6 +487,7 @@ func RunFALL(ctx context.Context, cs *Case, analysis fall.Analysis, cfg Config) 
 		// Hard failure (timeouts come back as StatusTimeout, not errors):
 		// report the outcome failed with no fabricated timing.
 		out.Failed = true
+		setup.Close()
 		return out
 	}
 	out.Time = res.Elapsed
@@ -461,7 +500,7 @@ func RunFALL(ctx context.Context, cs *Case, analysis fall.Analysis, cfg Config) 
 	// to its deadline.
 	scoreShortlist(ctx, cs, res.Keys, cfg, setup, &out)
 	out.Unique = out.Solved && res.UniqueKey()
-	out.PortfolioStats = setup.WinStats()
+	finishSolver(setup, &out)
 	return out
 }
 
@@ -487,6 +526,7 @@ func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 		// a zero-duration "timeout" when cfg.Timeout was 0). Report the
 		// failure distinctly and leave the timing empty.
 		out.Failed = true
+		setup.Close()
 		return out
 	}
 	out.Time = res.Elapsed
@@ -510,7 +550,7 @@ func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 		// finished within the time budget either).
 		out.Time = cfg.Timeout
 	}
-	out.PortfolioStats = setup.WinStats()
+	finishSolver(setup, &out)
 	return out
 }
 
@@ -590,7 +630,11 @@ type Fig6CaseResult struct {
 	// in SA); empty/nil for the baseline single engine.
 	KCSolverConfig string            `json:"kc_solver_config,omitempty"`
 	KCPortfolio    []sat.ConfigStats `json:"kc_portfolio,omitempty"`
-	SA             Outcome           `json:"sat"`
+	// KCSolveNS / KCMemoStats mirror Outcome.SolveNS / Outcome.MemoStats
+	// for the FALL→key-confirmation pipeline's solver setup.
+	KCSolveNS   int64          `json:"kc_solve_ns,omitempty"`
+	KCMemoStats *sat.MemoStats `json:"kc_memo_stats,omitempty"`
+	SA          Outcome        `json:"sat"`
 }
 
 // Failed reports that the pairing produced no usable measurement: the
@@ -642,6 +686,11 @@ func RunFig6Case(ctx context.Context, cs *Case, cfg Config) Fig6CaseResult {
 		}
 	}
 	r.KCPortfolio = setup.WinStats()
+	if setup != nil {
+		r.KCSolveNS = int64(setup.SolveTime())
+		r.KCMemoStats = setup.MemoStats()
+		setup.Close()
+	}
 	r.SA = RunSAT(ctx, cs, cfg)
 	return r
 }

@@ -339,6 +339,16 @@ type analysisContext struct {
 	inputs   []int       // cone input ids, sorted
 	neg      bool        // analyze the complement of the cone function
 	opts     *Options
+
+	// pre caches the candidate's frozen clause-stream prefixes; the grid
+	// shares one candPrefixes between the two polarity cells of a
+	// candidate, and a directly-constructed context creates its own
+	// lazily (prefixes).
+	pre *candPrefixes
+	// unateEng is the cell's single engine for all checkUnate queries,
+	// created lazily over unatePre's frozen prefix.
+	unateEng sat.Engine
+	unatePre *unatePrefix
 }
 
 func newAnalysisContext(ctx context.Context, c *circuit.Circuit, node int, neg bool, opts *Options) (*analysisContext, error) {
@@ -413,8 +423,13 @@ func (a *analysisContext) densityFilter(h int) bool {
 	return true
 }
 
-func (a *analysisContext) solver() sat.Engine {
-	return attack.NewEngine(a.ctx, a.opts.Solver)
+// prefixes returns the candidate's prefix cache, creating a private
+// one when the context was built outside the grid.
+func (a *analysisContext) prefixes() *candPrefixes {
+	if a.pre == nil {
+		a.pre = &candPrefixes{}
+	}
+	return a.pre
 }
 
 func (a *analysisContext) expired() bool {
@@ -463,11 +478,11 @@ func (a *analysisContext) AnalyzeUnateness() (map[int]bool, bool, error) {
 			}
 		}
 	}
-	for _, xi := range a.inputs {
+	for i, xi := range a.inputs {
 		if a.expired() {
 			return nil, false, ErrTimeout
 		}
-		isPos, err := a.checkUnate(xi, true, posViol[xi])
+		isPos, err := a.checkUnate(i, true, posViol[xi])
 		if err != nil {
 			return nil, false, err
 		}
@@ -475,7 +490,7 @@ func (a *analysisContext) AnalyzeUnateness() (map[int]bool, bool, error) {
 			cube[a.inputMap[xi]] = true
 			continue
 		}
-		isNeg, err := a.checkUnate(xi, false, negViol[xi])
+		isNeg, err := a.checkUnate(i, false, negViol[xi])
 		if err != nil {
 			return nil, false, err
 		}
@@ -488,45 +503,43 @@ func (a *analysisContext) AnalyzeUnateness() (map[int]bool, bool, error) {
 	return cube, true, nil
 }
 
-// checkUnate proves or refutes unateness of the cone function in xi via a
-// SAT query on two cofactor copies. knownViolated short-circuits with the
-// simulation witness.
-func (a *analysisContext) checkUnate(xi int, positive, knownViolated bool) (bool, error) {
+// checkUnate proves or refutes unateness of the cone function in input
+// index i by an assumption-only query against the cell's shared
+// two-copy prefix: assume the copies agree on every input but the
+// i-th, fix that input to 0 in copy 0 and 1 in copy 1, and assume the
+// outputs witness the violating pattern — Unsat means no violation
+// exists, i.e. the function is unate in the requested direction. All
+// of a cell's queries run on one incrementally-reused engine, so
+// learnt clauses carry across inputs and persistent or memoizing
+// backends see a single session for the whole cell. knownViolated
+// short-circuits with the simulation witness.
+func (a *analysisContext) checkUnate(i int, positive, knownViolated bool) (bool, error) {
 	if knownViolated {
 		return false, nil
 	}
-	s := a.solver()
-	e := cnf.NewEncoder(s)
-	shared := make(map[int]sat.Lit, len(a.inputs))
-	for _, in := range a.inputs {
-		if in != xi {
-			shared[in] = e.NewLit()
-		}
+	if a.unateEng == nil {
+		a.unatePre = a.prefixes().unateFor(a)
+		a.unateEng = attack.NewEngineOn(a.ctx, a.opts.Solver, a.unatePre.frozen)
 	}
-	given0 := make(map[int]sat.Lit, len(a.inputs))
-	given1 := make(map[int]sat.Lit, len(a.inputs))
-	for k, v := range shared {
-		given0[k] = v
-		given1[k] = v
-	}
-	given0[xi] = e.ConstLit(false)
-	given1[xi] = e.ConstLit(true)
-	lits0 := e.EncodeCircuitWith(a.cone, given0)
-	lits1 := e.EncodeCircuitWith(a.cone, given1)
-	f0 := lits0[a.cone.Outputs[0]]
-	f1 := lits1[a.cone.Outputs[0]]
+	p := a.unatePre
+	f0, f1 := p.f0, p.f1
 	if a.neg {
 		f0, f1 = f0.Neg(), f1.Neg()
 	}
+	as := make([]sat.Lit, 0, len(a.inputs)+3)
+	for j := range a.inputs {
+		if j != i {
+			as = append(as, p.eq[j])
+		}
+	}
+	as = append(as, p.x0[i].Neg(), p.x1[i])
 	// Positive unate iff no witness of f(xi=0)=1, f(xi=1)=0.
 	if positive {
-		s.AddClause(f0)
-		s.AddClause(f1.Neg())
+		as = append(as, f0, f1.Neg())
 	} else {
-		s.AddClause(f0.Neg())
-		s.AddClause(f1)
+		as = append(as, f0.Neg(), f1)
 	}
-	switch s.Solve() {
+	switch a.unateEng.SolveAssuming(as) {
 	case sat.Unsat:
 		return true, nil
 	case sat.Sat:
@@ -536,27 +549,22 @@ func (a *analysisContext) checkUnate(xi int, positive, knownViolated bool) (bool
 	}
 }
 
-// hdInstance encodes F = cone(X) ∧ cone(X') ∧ HD(X, X') = 2h and returns
-// the solver engine, the input literal vectors and the difference
-// literals.
+// hdInstance returns an engine holding F = cone(X) ∧ cone(X') ∧
+// HD(X, X') = 2h plus the input literal vectors and the difference
+// literals. The distance instance itself comes from the candidate's
+// frozen prefix — encoded once, shared by both polarities and both
+// analyses — and only the polarity's output units are added here as
+// the cell's delta.
 func (a *analysisContext) hdInstance(h int) (sat.Engine, []sat.Lit, []sat.Lit, []sat.Lit) {
-	s := a.solver()
-	e := cnf.NewEncoder(s)
-	lits1 := e.EncodeCircuitWith(a.cone, nil)
-	given2 := make(map[int]sat.Lit)
-	lits2 := e.EncodeCircuitWith(a.cone, given2)
-	xs := cnf.InputLits(a.inputs, lits1)
-	ys := cnf.InputLits(a.inputs, lits2)
-	f1 := lits1[a.cone.Outputs[0]]
-	f2 := lits2[a.cone.Outputs[0]]
+	p := a.prefixes().hdFor(a, h)
+	s := attack.NewEngineOn(a.ctx, a.opts.Solver, p.frozen)
+	f1, f2 := p.f1, p.f2
 	if a.neg {
 		f1, f2 = f1.Neg(), f2.Neg()
 	}
 	s.AddClause(f1)
 	s.AddClause(f2)
-	ds := e.XorPairs(xs, ys)
-	e.ExactlyK(ds, 2*h, a.opts.Enc)
-	return s, xs, ys, ds
+	return s, p.xs, p.ys, p.ds
 }
 
 // SlidingWindowAnalysis implements Algorithm 2 (Lemma 3). It returns the
@@ -667,17 +675,17 @@ func (a *analysisContext) Distance2HAnalysis(h int) (map[int]bool, bool, error) 
 // miter between the cone and a reference Hamming-distance comparator. The
 // lemmas are necessary conditions only; this check makes them sufficient.
 func (a *analysisContext) EquivalenceCheck(cube map[int]bool, h int) (bool, error) {
-	s := a.solver()
-	e := cnf.NewEncoder(s)
-	lits := e.EncodeCircuitWith(a.cone, nil)
-	f := lits[a.cone.Outputs[0]]
+	p := a.prefixes().coneFor(a)
+	s := attack.NewEngineOn(a.ctx, a.opts.Solver, p.frozen)
+	e := p.enc.ForkOnto(s)
+	f := p.f
 	if a.neg {
 		f = f.Neg()
 	}
 	// Reference strip_h(cube)(X): popcount of x_i XOR cube_i equals h.
 	ds := make([]sat.Lit, len(a.inputs))
 	for i, xi := range a.inputs {
-		ds[i] = lits[xi]
+		ds[i] = p.ins[i]
 		if cube[a.inputMap[xi]] {
 			ds[i] = ds[i].Neg()
 		}
@@ -806,10 +814,18 @@ func runAnalysisGrid(ctx context.Context, locked *circuit.Circuit, jobs []analys
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// One prefix cache per candidate: the two polarity cells fork the
+	// same frozen encodings instead of re-encoding the cone.
+	pres := make(map[int]*candPrefixes, len(jobs))
+	for _, j := range jobs {
+		if pres[j.cand] == nil {
+			pres[j.cand] = &candPrefixes{}
+		}
+	}
 	order := gridDispatchOrder(locked, jobs, opts)
 	attack.ForEachIndexed(workers, len(jobs), func(j int) bool {
 		i := order[j]
-		outcomes[i] = analyzeCell(ctx, locked, jobs[i], m, opts, pairing)
+		outcomes[i] = analyzeCell(ctx, locked, jobs[i], m, opts, pairing, pres[jobs[i].cand])
 		return outcomes[i].err == nil
 	})
 	return outcomes
@@ -817,8 +833,9 @@ func runAnalysisGrid(ctx context.Context, locked *circuit.Circuit, jobs []analys
 
 // analyzeCell runs the density filter, the selected functional analysis
 // and the equivalence check for one candidate×polarity cell. All solver
-// state is created here, per cell, so cells never share solvers.
-func analyzeCell(ctx context.Context, locked *circuit.Circuit, job analysisJob, m int, opts *Options, pairing map[int]pairEntry) analysisOutcome {
+// state is created here, per cell, so cells never share solvers; only
+// the immutable frozen prefixes in pre are shared across cells.
+func analyzeCell(ctx context.Context, locked *circuit.Circuit, job analysisJob, m int, opts *Options, pairing map[int]pairEntry, pre *candPrefixes) analysisOutcome {
 	if ctx.Err() != nil {
 		return analysisOutcome{err: ErrTimeout}
 	}
@@ -826,6 +843,7 @@ func analyzeCell(ctx context.Context, locked *circuit.Circuit, job analysisJob, 
 	if err != nil {
 		return analysisOutcome{} // key-dependent candidate: not a stripper
 	}
+	actx.pre = pre
 	if !actx.densityFilter(opts.H) {
 		return analysisOutcome{}
 	}

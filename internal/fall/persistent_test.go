@@ -1,0 +1,71 @@
+package fall
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/sat"
+	"repro/internal/sat/testsolver"
+)
+
+// TestPersistentOneProcessPerGrid: with a persistent process engine,
+// the whole FALL run — comparator mining, every candidate×polarity
+// analysis cell, shortlist dedup — shares one long-lived solver
+// subprocess per engine slot. The Host respawns only on transport
+// failure, so Spawns()==1 proves per-query respawn is gone.
+func TestPersistentOneProcessPerGrid(t *testing.T) {
+	stub := testsolver.Build(t)
+	_, lr := lockFig2a(t, 1, 11)
+	setup := attack.NewSolverSetupEngines([]sat.EngineSpec{
+		{Kind: sat.EngineProcess, Cmd: stub, Persistent: true},
+	})
+	defer setup.Close()
+	res, err := Attack(context.Background(), lr.Locked, Options{H: 1, Solver: setup.Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsCorrectKey(res, lr.Key) {
+		t.Fatalf("correct key not recovered; got %d keys", len(res.Keys))
+	}
+	hosts := setup.Hosts()
+	if len(hosts) != 1 {
+		t.Fatalf("setup spawned %d hosts, want 1 per persistent engine slot", len(hosts))
+	}
+	for slot, h := range hosts {
+		if h.Broken() {
+			t.Errorf("slot %d: host marked broken", slot)
+		}
+		if n := h.Spawns(); n != 1 {
+			t.Errorf("slot %d: %d subprocess spawns, want exactly 1 for the whole grid", slot, n)
+		}
+	}
+}
+
+// TestPersistentMatchesDefaultShortlist: the persistent stub engine and
+// the in-process default engine shortlist identical keys on the same
+// locked instance (verdict equivalence of the session protocol).
+func TestPersistentMatchesDefaultShortlist(t *testing.T) {
+	stub := testsolver.Build(t)
+	_, lr := lockFig2a(t, 1, 11)
+	ref, err := Attack(context.Background(), lr.Locked, Options{H: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := attack.NewSolverSetupEngines([]sat.EngineSpec{
+		{Kind: sat.EngineProcess, Cmd: stub, Persistent: true},
+	})
+	defer setup.Close()
+	got, err := Attack(context.Background(), lr.Locked, Options{H: 1, Solver: setup.Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Keys) != len(ref.Keys) {
+		t.Fatalf("persistent engine shortlisted %d keys, default %d", len(got.Keys), len(ref.Keys))
+	}
+	for i := range ref.Keys {
+		if !keysEqual(got.Keys[i].Key, ref.Keys[i].Key) {
+			t.Errorf("key %d differs between persistent and default engines", i)
+		}
+	}
+}

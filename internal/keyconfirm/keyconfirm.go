@@ -91,9 +91,15 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 		return nil, err
 	}
 
+	// Each solver's initial encoding is built into a clause stream and
+	// frozen; the engine is primed with the frozen prefix in one shot
+	// (content-hashed and O(1) for persistent or memoizing backends),
+	// and the encoder then retargets the live engine so per-iteration
+	// I/O constraints extend it incrementally, exactly as before.
+
 	// Solver P: candidate keys satisfying φ and observed I/O patterns.
-	p := attack.NewEngine(ctx, opts.Solver)
-	pe := cnf.NewEncoder(p)
+	pst := sat.NewStream()
+	pe := cnf.NewEncoder(pst)
 	kp := make([]sat.Lit, len(keys))
 	givenP := make(map[int]sat.Lit, len(keys))
 	for i, k := range keys {
@@ -101,18 +107,22 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 		givenP[k] = kp[i]
 	}
 	if len(candidates) > 0 {
-		encodePhi(p, pe, locked, keys, kp, candidates)
+		encodePhi(pe, locked, keys, kp, candidates)
 	}
+	p := attack.NewEngineOn(ctx, opts.Solver, pst.Freeze())
+	pe.S = p
 
 	// Solver Q: single-copy miter per Algorithm 4 (the sound terminator).
-	q := attack.NewEngine(ctx, opts.Solver)
-	qe := cnf.NewEncoder(q)
+	qst := sat.NewStream()
+	qe := cnf.NewEncoder(qst)
 	q1lits := qe.EncodeCircuitWith(locked, nil)
 	sharedQ := piShared(locked, q1lits)
 	q2lits := qe.EncodeCircuitWith(locked, sharedQ)
 	qe.NotEqual(cnf.EncodedOutputs(locked, q1lits), cnf.EncodedOutputs(locked, q2lits))
 	qK1 := cnf.InputLits(keys, q1lits)
 	qK2given := attack.KeyGiven(keys, cnf.InputLits(keys, q2lits))
+	q := attack.NewEngineOn(ctx, opts.Solver, qst.Freeze())
+	qe.S = q
 
 	// Solver D: accelerated double-DIP miter (two other-key copies).
 	var d sat.Engine
@@ -121,8 +131,8 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 	var dPIs []sat.Lit
 	var dK2given, dK3given map[int]sat.Lit
 	if !opts.DisableDoubleDIP {
-		d = attack.NewEngine(ctx, opts.Solver)
-		de = cnf.NewEncoder(d)
+		dst := sat.NewStream()
+		de = cnf.NewEncoder(dst)
 		d1 := de.EncodeCircuitWith(locked, nil)
 		sharedD := piShared(locked, d1)
 		d2 := de.EncodeCircuitWith(locked, sharedD)
@@ -136,6 +146,8 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 		dPIs = cnf.InputLits(locked.PrimaryInputs(), d1)
 		dK2given = attack.KeyGiven(keys, k2)
 		dK3given = attack.KeyGiven(keys, k3)
+		d = attack.NewEngineOn(ctx, opts.Solver, dst.Freeze())
+		de.S = d
 	}
 
 	qPIs := cnf.InputLits(locked.PrimaryInputs(), q1lits)
@@ -224,9 +236,9 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 	return res, nil
 }
 
-// encodePhi adds φ = OR_j (K == candidate_j) to solver p via selector
-// variables.
-func encodePhi(p sat.Engine, pe *cnf.Encoder, locked *circuit.Circuit, keys []int, kp []sat.Lit, candidates []map[string]bool) {
+// encodePhi adds φ = OR_j (K == candidate_j) to the encoder's sink via
+// selector variables.
+func encodePhi(pe *cnf.Encoder, locked *circuit.Circuit, keys []int, kp []sat.Lit, candidates []map[string]bool) {
 	sels := make([]sat.Lit, len(candidates))
 	for j, cand := range candidates {
 		sel := pe.NewLit()
@@ -237,10 +249,10 @@ func encodePhi(p sat.Engine, pe *cnf.Encoder, locked *circuit.Circuit, keys []in
 			if !ok {
 				continue // unconstrained bit in this candidate
 			}
-			p.AddClause(sel.Neg(), attack.LitWithValue(kp[i], v))
+			pe.S.AddClause(sel.Neg(), attack.LitWithValue(kp[i], v))
 		}
 	}
-	p.AddClause(sels...)
+	pe.S.AddClause(sels...)
 }
 
 func piShared(locked *circuit.Circuit, lits []sat.Lit) map[int]sat.Lit {

@@ -1,0 +1,312 @@
+package sat
+
+import (
+	"context"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the cross-query verdict memo cache on top of
+// frozen clause streams. FALL analyses across candidates — and
+// campaign cases across a run — repeatedly solve identical
+// sub-problems (same cone, same unateness/comparator query); the memo
+// keys every query by (frozen-prefix hash, delta hash, assumptions)
+// and returns the recorded verdict and model without touching a
+// solver. The wrapper preserves exact engine semantics: on a cache
+// miss it materializes its inner engine lazily and first replays the
+// engine's whole query history, so the inner engine reaches the same
+// incremental state (learnt clauses included) it would have reached
+// without the cache — verdicts AND models match the uncached run.
+
+// MemoStats is a hit/miss snapshot of memo-cache accounting — the
+// shape serialized into harness outcomes, campaign merges and the
+// daemon's /metrics.
+type MemoStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Add returns the entrywise sum (campaign merge aggregation).
+func (s MemoStats) Add(o MemoStats) MemoStats {
+	return MemoStats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses}
+}
+
+// Total returns the number of accounted queries.
+func (s MemoStats) Total() int64 { return s.Hits + s.Misses }
+
+// MemoCounters accumulates hit/miss counts for one accounting scope (a
+// SolverSetup, i.e. one attack run) against a possibly shared Memo.
+// Safe for concurrent use.
+type MemoCounters struct {
+	hits, misses atomic.Int64
+}
+
+// Snapshot returns the current counts.
+func (c *MemoCounters) Snapshot() MemoStats {
+	return MemoStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// DefaultMemoEntries bounds an unbounded-cap Memo: enough for every
+// distinct query of a large campaign while keeping worst-case memory
+// proportional to distinct models stored.
+const DefaultMemoEntries = 1 << 20
+
+type memoKey struct {
+	prefix Hash
+	delta  Hash
+	assume string
+}
+
+type memoEntry struct {
+	st    Status
+	model []bool // nil unless st == Sat; indexed by variable
+}
+
+// Memo is an in-memory verdict cache keyed by (prefix hash, delta
+// hash, assumptions). It is safe for concurrent use and is typically
+// shared across every engine of a run — or, in the daemon, across
+// jobs — so identical sub-queries are solved once. Only decided
+// verdicts are stored (Unknown is always recomputed); the first
+// stored entry for a key wins, keeping replays deterministic.
+type Memo struct {
+	mu      sync.Mutex
+	max     int
+	entries map[memoKey]*memoEntry
+	hits    int64
+	misses  int64
+}
+
+// NewMemo returns a memo holding at most max entries (max <= 0 means
+// DefaultMemoEntries). Beyond the cap, new results are recomputed but
+// not stored.
+func NewMemo(max int) *Memo {
+	if max <= 0 {
+		max = DefaultMemoEntries
+	}
+	return &Memo{max: max, entries: make(map[memoKey]*memoEntry)}
+}
+
+// Stats returns the memo's global hit/miss counts.
+func (m *Memo) Stats() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{Hits: m.hits, Misses: m.misses}
+}
+
+// Len returns the number of stored entries.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+func (m *Memo) lookup(key memoKey) (*memoEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return e, ok
+}
+
+func (m *Memo) store(key memoKey, st Status, model []bool) {
+	if st == Unknown {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.entries[key]; exists || len(m.entries) >= m.max {
+		return
+	}
+	m.entries[key] = &memoEntry{st: st, model: model}
+}
+
+func assumeKey(as []Lit) string {
+	b := make([]byte, 0, len(as)*2)
+	var buf [binary.MaxVarintLen64]byte
+	for _, l := range as {
+		n := binary.PutUvarint(buf[:], uint64(l))
+		b = append(b, buf[:n]...)
+	}
+	return string(b)
+}
+
+// memoQuery records one past SolveAssuming call so a later cache miss
+// can replay the inner engine into the exact incremental state it
+// would have had without the cache.
+type memoQuery struct {
+	opsAt       int
+	assumptions []Lit
+}
+
+// MemoEngine wraps an inner engine with a Memo. Clauses and variables
+// are buffered in a Stream (so every query has a content hash); the
+// inner engine is only materialized — primed with the frozen prefix,
+// fed the buffered delta and the replayed query history — on the
+// first cache miss. A fully memoized consumer never runs a solver.
+// Like every Engine, a MemoEngine is not safe for concurrent use.
+type MemoEngine struct {
+	memo *Memo
+	ctr  *MemoCounters // optional per-run accounting; may be nil
+
+	inner  Engine
+	stream *Stream
+	ctx    context.Context
+	stats  Stats
+
+	primed      bool
+	replayedOps int
+	synced      int // queries already replayed into inner
+	queries     []memoQuery
+	cached      *memoEntry // model source when the last solve hit
+}
+
+var (
+	_ Engine       = (*MemoEngine)(nil)
+	_ FrozenLoader = (*MemoEngine)(nil)
+)
+
+// NewMemoEngine wraps inner with the given memo. ctr, when non-nil,
+// accumulates this engine's hits and misses for per-run reporting on
+// top of the memo's global counters.
+func NewMemoEngine(memo *Memo, ctr *MemoCounters, inner Engine) *MemoEngine {
+	return &MemoEngine{memo: memo, ctr: ctr, inner: inner, stream: NewStream()}
+}
+
+// Inner returns the wrapped engine that serves cache misses.
+func (m *MemoEngine) Inner() Engine { return m.inner }
+
+// LoadFrozen adopts a frozen prefix (O(1)); the engine must be fresh.
+func (m *MemoEngine) LoadFrozen(f *Frozen) {
+	if m.stream.NumVars() != 0 || len(m.stream.ops) != 0 {
+		panic("sat: MemoEngine.LoadFrozen on a non-fresh engine")
+	}
+	m.stream = f.Fork()
+}
+
+// NewVar introduces a fresh variable and returns its index.
+func (m *MemoEngine) NewVar() int { return m.stream.NewVar() }
+
+// NumVars returns the number of variables created so far.
+func (m *MemoEngine) NumVars() int { return m.stream.NumVars() }
+
+// AddClause buffers a clause (see Stream.AddClause for the top-level
+// conflict caveat shared with the DIMACS-pipe engine).
+func (m *MemoEngine) AddClause(lits ...Lit) bool { return m.stream.AddClause(lits...) }
+
+// SetContext attaches a cancellation/deadline context.
+func (m *MemoEngine) SetContext(ctx context.Context) {
+	m.ctx = ctx
+	if m.primed {
+		m.inner.SetContext(ctx)
+	}
+}
+
+// Stats returns the wrapper's call counter plus the inner engine's
+// counters once it materialized.
+func (m *MemoEngine) Stats() Stats {
+	if m.primed {
+		return m.stats.Add(m.inner.Stats())
+	}
+	return m.stats
+}
+
+// Solve determines satisfiability of the buffered clause set.
+func (m *MemoEngine) Solve() Status { return m.SolveAssuming(nil) }
+
+// SolveAssuming answers from the memo when the (prefix, delta,
+// assumptions) key is recorded; otherwise it solves on the inner
+// engine — replaying history first for state parity — and records the
+// verdict.
+func (m *MemoEngine) SolveAssuming(assumptions []Lit) Status {
+	m.stats.SolveCalls++
+	key := memoKey{
+		prefix: m.stream.Base().Hash(),
+		delta:  m.stream.DeltaHash(),
+		assume: assumeKey(assumptions),
+	}
+	rec := memoQuery{opsAt: len(m.stream.ops), assumptions: append([]Lit(nil), assumptions...)}
+	if e, ok := m.memo.lookup(key); ok {
+		if m.ctr != nil {
+			m.ctr.hits.Add(1)
+		}
+		m.queries = append(m.queries, rec)
+		m.cached = e
+		return e.st
+	}
+	if m.ctr != nil {
+		m.ctr.misses.Add(1)
+	}
+	st := m.solveInner(rec)
+	m.queries = append(m.queries, rec)
+	m.synced = len(m.queries) // the current query ran on inner; never replay it
+	m.cached = nil
+	if st != Unknown {
+		var model []bool
+		if st == Sat {
+			model = make([]bool, m.stream.NumVars())
+			for v := range model {
+				model[v] = m.inner.Value(v)
+			}
+		}
+		m.memo.store(key, st, model)
+	}
+	return st
+}
+
+// solveInner materializes the inner engine (prime + delta replay) and
+// replays any queries answered from the memo since the last inner
+// solve, then runs the current query.
+func (m *MemoEngine) solveInner(rec memoQuery) Status {
+	if !m.primed {
+		Prime(m.inner, m.stream.Base())
+		if m.ctx != nil {
+			m.inner.SetContext(m.ctx)
+		}
+		m.primed = true
+	}
+	for _, q := range m.queries[m.synced:] {
+		m.replayOpsTo(q.opsAt)
+		m.inner.SolveAssuming(q.assumptions)
+	}
+	m.synced = len(m.queries)
+	m.replayOpsTo(rec.opsAt)
+	return m.inner.SolveAssuming(rec.assumptions)
+}
+
+func (m *MemoEngine) replayOpsTo(opsAt int) {
+	for _, op := range m.stream.ops[m.replayedOps:opsAt] {
+		op.replayOp(m.inner)
+	}
+	if opsAt > m.replayedOps {
+		m.replayedOps = opsAt
+	}
+}
+
+// Value returns variable v's value in the last satisfying assignment
+// (the recorded model when the last solve was answered from the memo).
+func (m *MemoEngine) Value(v int) bool {
+	if m.cached != nil {
+		if m.cached.st == Sat && v >= 0 && v < len(m.cached.model) {
+			return m.cached.model[v]
+		}
+		return false
+	}
+	if !m.primed {
+		return false
+	}
+	return m.inner.Value(v)
+}
+
+// LitTrue reports whether literal l is true in the last model.
+func (m *MemoEngine) LitTrue(l Lit) bool {
+	v := m.Value(l.Var())
+	if l.Sign() {
+		return !v
+	}
+	return v
+}

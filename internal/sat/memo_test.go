@@ -1,0 +1,140 @@
+package sat_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// TestMemoEngineHitsAndModelIdentity: two engines over the same shared
+// memo and the same frozen prefix issue the same query; the second
+// answers from the cache with the identical verdict and model, without
+// ever materializing a solver.
+func TestMemoEngineHitsAndModelIdentity(t *testing.T) {
+	stream := sat.NewStream()
+	a, b, c := sat.PosLit(stream.NewVar()), sat.PosLit(stream.NewVar()), sat.PosLit(stream.NewVar())
+	stream.AddClause(a, b)
+	stream.AddClause(a.Neg(), c)
+	stream.AddClause(b.Neg(), c.Neg())
+	frozen := stream.Freeze()
+
+	memo := sat.NewMemo(0)
+	var ctr sat.MemoCounters
+
+	e1 := sat.NewMemoEngine(memo, &ctr, sat.New())
+	sat.Prime(e1, frozen)
+	st1 := e1.SolveAssuming([]sat.Lit{a})
+	if st1 != sat.Sat {
+		t.Fatalf("first solve: %v, want Sat", st1)
+	}
+	model1 := []bool{e1.Value(0), e1.Value(1), e1.Value(2)}
+
+	e2 := sat.NewMemoEngine(memo, &ctr, sat.New())
+	sat.Prime(e2, frozen)
+	st2 := e2.SolveAssuming([]sat.Lit{a})
+	if st2 != sat.Sat {
+		t.Fatalf("cached solve: %v, want Sat", st2)
+	}
+	model2 := []bool{e2.Value(0), e2.Value(1), e2.Value(2)}
+	for v := range model1 {
+		if model1[v] != model2[v] {
+			t.Fatalf("cached model differs at var %d", v)
+		}
+	}
+	if got := ctr.Snapshot(); got.Hits != 1 || got.Misses != 1 {
+		t.Fatalf("counters %+v, want 1 hit / 1 miss", got)
+	}
+	if got := memo.Stats(); got.Hits != 1 || got.Misses != 1 {
+		t.Fatalf("global stats %+v, want 1 hit / 1 miss", got)
+	}
+	// LitTrue must read the cached model too.
+	if e2.LitTrue(a) != model2[0] || e2.LitTrue(a.Neg()) == model2[0] {
+		t.Fatalf("LitTrue inconsistent with cached model")
+	}
+}
+
+// TestMemoEngineStateParity is the determinism property behind the
+// byte-identical CI diffs: an engine whose early queries were answered
+// from the memo must — on a later miss — produce exactly the model an
+// uncached engine produces, because the wrapper replays the query
+// history into the inner engine before solving (learnt-clause state
+// parity).
+func TestMemoEngineStateParity(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := randOps(rng, 20)
+		nVars := countVars(ops)
+		stream := sat.NewStream()
+		applyOps(stream, ops)
+		frozen := stream.Freeze()
+
+		q1 := randAssumptions(rng, nVars)
+		q2 := randAssumptions(rng, nVars)
+		extra := randAssumptions(rng, nVars) // becomes a delta clause
+		if len(extra) == 0 {
+			extra = []sat.Lit{sat.PosLit(rng.Intn(nVars))}
+		}
+
+		// Reference: no memo anywhere.
+		ref := sat.New()
+		sat.Prime(ref, frozen)
+		ref.SolveAssuming(q1)
+		ref.AddClause(extra...)
+		wantSt := ref.SolveAssuming(q2)
+
+		memo := sat.NewMemo(0)
+		// Engine A populates the cache for q1.
+		ea := sat.NewMemoEngine(memo, nil, sat.New())
+		sat.Prime(ea, frozen)
+		ea.SolveAssuming(q1)
+
+		// Engine B hits on q1 (no solver yet), then adds a delta clause;
+		// q2 over the new delta misses, forcing materialization + history
+		// replay.
+		eb := sat.NewMemoEngine(memo, nil, sat.New())
+		sat.Prime(eb, frozen)
+		eb.SolveAssuming(q1)
+		eb.AddClause(extra...)
+		gotSt := eb.SolveAssuming(q2)
+		if gotSt != wantSt {
+			t.Fatalf("seed %d: verdict %v, want %v", seed, gotSt, wantSt)
+		}
+		if wantSt == sat.Sat {
+			for v := 0; v < nVars; v++ {
+				if ref.Value(v) != eb.Value(v) {
+					t.Fatalf("seed %d: model differs at var %d after memo-hit history", seed, v)
+				}
+			}
+		}
+	}
+}
+
+// TestMemoCap: beyond the entry cap, results are recomputed but not
+// stored.
+func TestMemoCap(t *testing.T) {
+	memo := sat.NewMemo(1)
+	mk := func() *sat.MemoEngine {
+		e := sat.NewMemoEngine(memo, nil, sat.New())
+		a := sat.PosLit(e.NewVar())
+		e.AddClause(a)
+		return e
+	}
+	e1 := mk()
+	e1.Solve()
+	if memo.Len() != 1 {
+		t.Fatalf("entries %d, want 1", memo.Len())
+	}
+	e2 := mk()
+	e2.AddClause(sat.PosLit(e2.NewVar())) // different delta -> different key
+	e2.Solve()
+	if memo.Len() != 1 {
+		t.Fatalf("cap exceeded: %d entries", memo.Len())
+	}
+	// The uncached query still answers correctly.
+	e3 := mk()
+	e3.AddClause(sat.PosLit(e3.NewVar()))
+	if st := e3.Solve(); st != sat.Sat {
+		t.Fatalf("over-cap solve: %v, want Sat", st)
+	}
+}

@@ -49,13 +49,19 @@ func (k EngineKind) String() string {
 //	internal[:<config>]   Config (sat.ParseConfig syntax)
 //	<name> | process:cmd=P  Cmd — the solver binary name (resolved on
 //	                        PATH at run time) or an explicit path
+//	...,persistent=true   Persistent — keep one long-lived solver
+//	                      subprocess per engine speaking the incremental
+//	                      session protocol instead of dump+respawn per
+//	                      query (process engines only; the binary must
+//	                      support -serve)
 //	bdd[:max-nodes=N]     MaxNodes — the ROBDD node budget (0 = the
 //	                      bdd package default of 1<<20)
 type EngineSpec struct {
-	Kind     EngineKind
-	Config   Config
-	Cmd      string
-	MaxNodes int
+	Kind       EngineKind
+	Config     Config
+	Cmd        string
+	MaxNodes   int
+	Persistent bool
 }
 
 // InternalSpec wraps a solver configuration as an internal-engine spec.
@@ -71,7 +77,13 @@ func (s EngineSpec) String() string {
 	switch s.Kind {
 	case EngineProcess:
 		if isBareSolverName(s.Cmd) {
+			if s.Persistent {
+				return s.Cmd + ":persistent=true"
+			}
 			return s.Cmd
+		}
+		if s.Persistent {
+			return "process:cmd=" + s.Cmd + ",persistent=true"
 		}
 		return "process:cmd=" + s.Cmd
 	case EngineBDD:
@@ -115,6 +127,9 @@ func isBareSolverName(cmd string) bool {
 //	"internal:seed=7"         internal engine, explicit kind
 //	"kissat"                  external DIMACS solver, found on PATH
 //	"process:cmd=/opt/ks"     external DIMACS solver at a given path
+//	"stub:persistent=true"    external solver in persistent-session mode
+//	                          (one long-lived subprocess, incremental
+//	                          line protocol; the binary must speak it)
 //	"bdd:max-nodes=1<<20"     BDD engine with a node budget
 //
 // Process-engine binaries are looked up when the engine is built, not
@@ -177,6 +192,12 @@ func ParseEngineSpec(spec string) (EngineSpec, error) {
 				switch k {
 				case "cmd", "path":
 					s.Cmd = v
+				case "persistent":
+					b, err := strconv.ParseBool(v)
+					if err != nil {
+						return EngineSpec{}, fmt.Errorf("sat: process option %q: %v", kv, err)
+					}
+					s.Persistent = b
 				default:
 					return EngineSpec{}, fmt.Errorf("sat: process option %q: unknown key", kv)
 				}
@@ -201,6 +222,12 @@ func ParseEngineSpec(spec string) (EngineSpec, error) {
 				switch k {
 				case "cmd", "path":
 					s.Cmd = v
+				case "persistent":
+					b, err := strconv.ParseBool(v)
+					if err != nil {
+						return EngineSpec{}, fmt.Errorf("sat: solver option %q: %v", kv, err)
+					}
+					s.Persistent = b
 				default:
 					return EngineSpec{}, fmt.Errorf("sat: solver option %q: unknown key", kv)
 				}

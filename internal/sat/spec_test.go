@@ -18,6 +18,9 @@ func TestParseEngineSpecForms(t *testing.T) {
 		{"kissat", EngineSpec{Kind: EngineProcess, Cmd: "kissat"}},
 		{"kissat:path=/opt/kissat", EngineSpec{Kind: EngineProcess, Cmd: "/opt/kissat"}},
 		{"process:cmd=/tmp/solver", EngineSpec{Kind: EngineProcess, Cmd: "/tmp/solver"}},
+		{"kissat:persistent=true", EngineSpec{Kind: EngineProcess, Cmd: "kissat", Persistent: true}},
+		{"kissat:persistent=false", EngineSpec{Kind: EngineProcess, Cmd: "kissat"}},
+		{"process:cmd=/tmp/solver,persistent=true", EngineSpec{Kind: EngineProcess, Cmd: "/tmp/solver", Persistent: true}},
 		{"bdd", EngineSpec{Kind: EngineBDD}},
 		{"bdd:max-nodes=4096", EngineSpec{Kind: EngineBDD, MaxNodes: 4096}},
 		{"bdd:max-nodes=1<<20", EngineSpec{Kind: EngineBDD, MaxNodes: 1 << 20}},
@@ -50,6 +53,8 @@ func TestParseEngineSpecRejectsBadSpecs(t *testing.T) {
 		"process:cmd=",    // empty cmd
 		"process:wrong=1", // unknown key
 		"kissat:verbose=1",
+		"kissat:persistent=maybe", // unparsable bool
+		"process:cmd=/tmp/s,persistent=2",
 		"a b",  // whitespace in a bare name
 		"a,b:", // comma in a bare name
 	} {
@@ -102,6 +107,15 @@ func TestParseEngineList(t *testing.T) {
 	if len(specs) != 2 || specs[0] != InternalSpec(Config{Seed: 3, Restart: RestartGeometric}) ||
 		specs[1] != (EngineSpec{Kind: EngineBDD, MaxNodes: 4096}) {
 		t.Errorf("colon-less continuation: %+v", specs)
+	}
+
+	// persistent=true continues an external entry like any option token.
+	specs, err = ParseEngineList("internal,stub,persistent=true", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[1] != (EngineSpec{Kind: EngineProcess, Cmd: "stub", Persistent: true}) {
+		t.Errorf("persistent continuation: %+v", specs)
 	}
 
 	for _, bad := range []string{"", " , ", "internal,internal", "kissat,kissat", "bdd,frobnicate=1"} {

@@ -70,9 +70,12 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 		return nil, err
 	}
 
-	// Miter solver Q.
-	q := attack.NewEngine(ctx, opts.Solver)
-	qe := cnf.NewEncoder(q)
+	// Miter solver Q. The two-copy miter is encoded into a clause
+	// stream, frozen, and loaded into the engine in one shot (O(1) and
+	// content-hashed for persistent or memoizing backends); the
+	// per-iteration I/O constraints then extend the live engine.
+	qst := sat.NewStream()
+	qe := cnf.NewEncoder(qst)
 	lits1 := qe.EncodeCircuitWith(locked, nil)
 	shared := make(map[int]sat.Lit, len(pis))
 	for _, pi := range pis {
@@ -82,16 +85,20 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 	qe.NotEqual(cnf.EncodedOutputs(locked, lits1), cnf.EncodedOutputs(locked, lits2))
 	k1 := cnf.InputLits(keys, lits1)
 	k2 := cnf.InputLits(keys, lits2)
+	q := attack.NewEngineOn(ctx, opts.Solver, qst.Freeze())
+	qe.S = q
 
 	// Key-extraction solver P accumulates I/O constraints on one key copy.
-	p := attack.NewEngine(ctx, opts.Solver)
-	pe := cnf.NewEncoder(p)
+	pst := sat.NewStream()
+	pe := cnf.NewEncoder(pst)
 	kp := make([]sat.Lit, len(keys))
 	givenP := make(map[int]sat.Lit, len(keys))
 	for i, k := range keys {
 		kp[i] = pe.NewLit()
 		givenP[k] = kp[i]
 	}
+	p := attack.NewEngineOn(ctx, opts.Solver, pst.Freeze())
+	pe.S = p
 
 	for {
 		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {

@@ -23,6 +23,11 @@ type Metrics struct {
 	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
 	// Portfolio is the aggregated per-engine racing ledger.
 	Portfolio []sat.ConfigStats `json:"portfolio,omitempty"`
+	// MemoHits/MemoMisses/MemoEntries report the daemon-global verdict
+	// cache when the daemon runs with one (Config.Memo).
+	MemoHits    int64 `json:"memo_hits,omitempty"`
+	MemoMisses  int64 `json:"memo_misses,omitempty"`
+	MemoEntries int   `json:"memo_entries,omitempty"`
 }
 
 // TenantMetrics is one tenant's live load.
@@ -48,6 +53,10 @@ func (s *Server) Snapshot() Metrics {
 		m.Jobs[j.State]++
 	}
 	s.mu.Unlock()
+	if s.cfg.Memo != nil {
+		st := s.cfg.Memo.Stats()
+		m.MemoHits, m.MemoMisses, m.MemoEntries = st.Hits, st.Misses, s.cfg.Memo.Len()
+	}
 	if len(queued)+len(running) > 0 {
 		m.Tenants = map[string]TenantMetrics{}
 		for t, n := range queued {

@@ -43,6 +43,12 @@ type Config struct {
 	// JobTimeout bounds any job that does not set its own timeout;
 	// 0 means unbounded.
 	JobTimeout time.Duration
+	// Memo, when non-nil, is a daemon-global cross-query verdict cache
+	// (sat.NewMemo) shared by every job's solvers: repeated submissions
+	// of the same instance answer repeated SAT queries from the cache.
+	// Verdicts are unchanged — the cache replays query history on
+	// misses — and hit/miss counters surface in GET /metrics.
+	Memo *sat.Memo
 	// Log, when non-nil, receives one line per job transition.
 	Log io.Writer
 }
@@ -311,7 +317,18 @@ func (s *Server) runJob(id string) {
 	r, rerr := spec.Resolve()
 	var res *attack.Result
 	if rerr == nil {
+		if s.cfg.Memo != nil {
+			// Attach the daemon-global verdict cache. A job with no solver
+			// flags gets a zero-value setup, which builds exactly the
+			// default engine, so results are unchanged.
+			if r.setup == nil {
+				r.setup = &attack.SolverSetup{}
+				r.target.Solver = r.setup.Factory()
+			}
+			r.setup.Memo = s.cfg.Memo
+		}
 		res, rerr = r.atk.Run(runCtx, r.target)
+		r.setup.Close() // release persistent solver processes, if any
 	}
 	wall := time.Since(start)
 
