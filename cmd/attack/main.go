@@ -28,6 +28,7 @@ import (
 	_ "repro/internal/attack/all"
 	"repro/internal/bench"
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/sat"
 )
@@ -46,6 +47,7 @@ func main() {
 		solver     = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL; see sat.ParseEngineSpec)")
 		portfolio  = flag.String("portfolio", "", "race engines per query, first verdict wins: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
 		memo       = flag.Bool("memo", false, "share a cross-query verdict cache across this run's solver queries (verdicts unchanged; hit statistics on stderr)")
+		tracePath  = flag.String("trace", "", "write an NDJSON span trace of the run to FILE (verdicts and stdout unchanged; analyze with tracestat)")
 		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON document on stdout (recovered netlists print as BENCH on stderr)")
 	)
 	start := time.Now()
@@ -81,6 +83,19 @@ func main() {
 		}
 		setup.Memo = sat.NewMemo(sat.DefaultMemoEntries)
 	}
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *tracePath != "" {
+		tracer, err = obs.NewFileTracer(*tracePath)
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		root = tracer.Start("attack", "attack", *name, "locked", *lockedPath)
+		if setup == nil {
+			setup = &attack.SolverSetup{}
+		}
+		setup.TraceTo(root)
+	}
 	tgt := attack.Target{
 		Locked:        parse(*lockedPath),
 		H:             *h,
@@ -106,7 +121,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := atk.Run(ctx, tgt)
+	res, err := atk.Run(obs.With(ctx, root), tgt)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -115,6 +130,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses\n", st.Hits, st.Misses)
 	}
 	setup.Close()
+	if tracer != nil {
+		// Closed here, after setup.Close emitted the session spans and
+		// before the verdict-driven os.Exit paths (which skip defers).
+		root.Set("status", res.Status.String())
+		root.End()
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "attack: trace: %v\n", err)
+		}
+	}
 	if *jsonOut {
 		// The JSON result carries the end-to-end wall clock and the
 		// resolved engine labels, the same fields attackd persists in
@@ -123,6 +147,7 @@ func main() {
 		j := res.JSON()
 		j.WallNS = time.Since(start)
 		j.Engines = setup.EngineLabels()
+		j.SolveNS = int64(setup.SolveTime())
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(j); err != nil {

@@ -15,6 +15,13 @@
 // back to the queue for the next daemon. Backpressure is explicit:
 // a full queue or an over-rate tenant gets 429 + Retry-After.
 //
+// Observability: structured logs on stderr (-log-format text|json, one
+// line per job transition and per API request), Prometheus text
+// metrics at GET /metrics.prom alongside the JSON GET /metrics,
+// per-job span traces at GET /jobs/{id}/trace (bounded ring of
+// -trace-spans spans; analyze with cmd/tracestat), and net/http/pprof
+// on a separate listener behind -pprof-addr.
+//
 // Exit codes: 0 clean shutdown after drain; 1 hard error (stderr
 // explains).
 package main
@@ -24,7 +31,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,8 +57,11 @@ func main() {
 		jobWorkers = flag.Int("job-workers", runtime.GOMAXPROCS(0), "intra-attack worker cap per job")
 		jobTimeout = flag.Duration("job-timeout", 0, "time budget for jobs that set none (0 = unbounded)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace: in-flight jobs get this long to finish before being cancelled back to the queue")
-		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
+		quiet      = flag.Bool("quiet", false, "suppress per-job and per-request log lines")
 		memo       = flag.Bool("memo", false, "share a daemon-global cross-query verdict cache across all jobs (verdicts unchanged; hit counters in /metrics)")
+		logFormat  = flag.String("log-format", "text", "structured log format on stderr: text | json")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		traceSpans = flag.Int("trace-spans", 2048, "per-job span-trace ring capacity served at GET /jobs/{id}/trace (0 = disable per-job tracing)")
 	)
 	flag.Parse()
 
@@ -62,9 +74,17 @@ func main() {
 		TenantBurst:       *tenantBurst,
 		JobWorkers:        *jobWorkers,
 		JobTimeout:        *jobTimeout,
+		TraceSpans:        *traceSpans,
 	}
 	if !*quiet {
-		cfg.Log = os.Stderr
+		switch *logFormat {
+		case "text":
+			cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		case "json":
+			cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		default:
+			fatalf("unknown -log-format %q (want text or json)", *logFormat)
+		}
 	}
 	if *memo {
 		cfg.Memo = sat.NewMemo(sat.DefaultMemoEntries)
@@ -74,6 +94,18 @@ func main() {
 		fatalf("%v", err)
 	}
 	srv.Start()
+
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux; the API server uses its own mux, so the profiler
+		// is reachable only through this listener.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "attackd: pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "attackd: pprof on %s\n", *pprofAddr)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)

@@ -40,6 +40,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/genbench"
+	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/internal/server"
 )
@@ -186,20 +187,21 @@ func cmdPlan(args []string) {
 }
 
 // runFlags declares the flags shared by run and retry on fs.
-func runFlags(fs *flag.FlagSet) (shardIndex, shardCount, workers *int, quiet, memo *bool, learnFrom *string) {
+func runFlags(fs *flag.FlagSet) (shardIndex, shardCount, workers *int, quiet, memo *bool, learnFrom, trace *string) {
 	shardIndex = fs.Int("shard-index", 0, "this shard's index in [0, shard-count)")
 	shardCount = fs.Int("shard-count", 1, "total number of shards")
 	workers = fs.Int("workers", runtime.GOMAXPROCS(0), "cases run concurrently (1 = serial)")
 	quiet = fs.Bool("quiet", false, "suppress per-case progress lines")
 	memo = fs.Bool("memo", false, "share a cross-query verdict cache across the shard's cases (verdicts unchanged; hit statistics in artifacts)")
 	learnFrom = fs.String("learn-from", "", "portfolio-stats JSON (e.g. a prior merge's portfolio_stats.json); reorders/prunes the racing engines")
+	trace = fs.String("trace", "", "write an NDJSON span trace of the shard to FILE (merge per-shard traces with `campaign merge -traces` or tracestat)")
 	return
 }
 
 func runShard(name string, args []string, retry bool) {
 	fs := flag.NewFlagSet("campaign "+name, flag.ExitOnError)
 	dir, artifacts := dirFlags(fs)
-	shardIndex, shardCount, workers, quiet, memo, learnFrom := runFlags(fs)
+	shardIndex, shardCount, workers, quiet, memo, learnFrom, trace := runFlags(fs)
 	fs.Parse(args)
 	p := loadPlan(*dir)
 	dirs := artifactDirs(*dir, *artifacts)
@@ -230,6 +232,7 @@ func runShard(name string, args []string, retry bool) {
 		Workers:    *workers,
 		LearnFrom:  *learnFrom,
 		Memo:       *memo,
+		Trace:      *trace,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
@@ -256,6 +259,7 @@ func cmdMerge(args []string) {
 	dir, artifacts := dirFlags(fs)
 	allowPartial := fs.Bool("allow-partial", false, "render even if some cases have no artifact yet")
 	statsOut := fs.String("stats-out", "", "portfolio-stats JSON path (default DIR/portfolio_stats.json; \"-\" disables)")
+	traces := fs.String("traces", "", "per-shard trace files (comma-separated paths or globs); prints one merged tracestat view on stderr")
 	fs.Parse(args)
 	p := loadPlan(*dir)
 	m, err := campaign.Merge(p, artifactDirs(*dir, *artifacts))
@@ -285,6 +289,31 @@ func cmdMerge(args []string) {
 	}
 	if st := m.MemoStats(); st != nil {
 		fmt.Fprintf(os.Stderr, "campaign: memo: %d hits / %d misses across artifacts\n", st.Hits, st.Misses)
+	}
+	// A merged tracestat view over the shards' trace files — stderr,
+	// like every diagnostic, so merge stdout stays byte-identical to a
+	// monolithic fallbench run.
+	if *traces != "" {
+		var paths []string
+		for _, pat := range strings.Split(*traces, ",") {
+			pat = strings.TrimSpace(pat)
+			if pat == "" {
+				continue
+			}
+			matches, err := filepath.Glob(pat)
+			if err != nil {
+				fatalf("traces: %v", err)
+			}
+			if matches == nil {
+				fatalf("traces: no files match %q", pat)
+			}
+			paths = append(paths, matches...)
+		}
+		files, err := obs.ReadTraceFiles(paths)
+		if err != nil {
+			fatalf("traces: %v", err)
+		}
+		obs.Analyze(files, 10).Render(os.Stderr)
 	}
 	switch {
 	case len(m.Failed) > 0:

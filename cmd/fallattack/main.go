@@ -22,6 +22,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cnf"
 	"repro/internal/fall"
+	"repro/internal/obs"
 	"repro/internal/sat"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		solver    = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL)")
 		portfolio = flag.String("portfolio", "", "race engines per analysis query: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
 		memo      = flag.Bool("memo", false, "share a cross-query verdict cache across the analyses (verdicts unchanged; hit statistics on stderr)")
+		tracePath = flag.String("trace", "", "write an NDJSON span trace of the run to FILE (verdicts and stdout unchanged; analyze with tracestat)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -95,7 +97,20 @@ func main() {
 		}
 		setup.Memo = sat.NewMemo(sat.DefaultMemoEntries)
 	}
-	out, err := fall.New(opts).Run(ctx, attack.Target{Locked: locked, H: *h, Workers: *workers, Solver: setup.Factory()})
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *tracePath != "" {
+		tracer, err = obs.NewFileTracer(*tracePath)
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		root = tracer.Start("fallattack", "locked", *inPath, "h", *h)
+		if setup == nil {
+			setup = &attack.SolverSetup{}
+		}
+		setup.TraceTo(root)
+	}
+	out, err := fall.New(opts).Run(obs.With(ctx, root), attack.Target{Locked: locked, H: *h, Workers: *workers, Solver: setup.Factory()})
 	if err != nil {
 		fatalf("attack: %v", err)
 	}
@@ -104,6 +119,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses\n", st.Hits, st.Misses)
 	}
 	setup.Close()
+	if tracer != nil {
+		// Closed after the session spans and before the os.Exit paths.
+		root.Set("status", out.Status.String())
+		root.End()
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "fallattack: trace: %v\n", err)
+		}
+	}
 	res := out.Details.(*fall.Result)
 	fmt.Printf("status: %s\n", out.Status)
 	fmt.Printf("comparators: %d (pairing %d circuit inputs)\n", len(res.Comparators), len(res.CompX))

@@ -30,6 +30,8 @@
 //	-memo          share a cross-query verdict cache across every attack
 //	               and scoring miter (verdicts unchanged; hit statistics
 //	               and per-case encode/solve splits land on stderr)
+//	-trace F       write an NDJSON span trace of the whole suite to F
+//	               (stdout unchanged; analyze with cmd/tracestat)
 //
 // Results go to stdout, diagnostics — including the aggregated
 // per-engine portfolio win statistics — to stderr, so racing runs diff
@@ -52,6 +54,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/exp"
 	"repro/internal/genbench"
+	"repro/internal/obs"
 	"repro/internal/sat"
 )
 
@@ -73,6 +76,7 @@ func main() {
 		adaptAfter = flag.Int64("adapt-after", 0, "retire an engine mid-run after it loses this many races without a win (0 = never)")
 		statsOut   = flag.String("stats-out", "", "write the aggregated per-engine win statistics to this JSON file")
 		memo       = flag.Bool("memo", false, "share a cross-query verdict cache across every attack and scoring miter (verdicts unchanged; hit statistics on stderr)")
+		tracePath  = flag.String("trace", "", "write an NDJSON span trace of the whole suite to FILE (stdout unchanged; analyze with tracestat)")
 	)
 	flag.Parse()
 
@@ -107,6 +111,14 @@ func main() {
 	}
 	if *memo {
 		cfg.Memo = sat.NewMemo(sat.DefaultMemoEntries)
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		var err error
+		if tracer, err = obs.NewFileTracer(*tracePath); err != nil {
+			fatalf("trace: %v", err)
+		}
+		cfg.Trace = tracer.Start("fallbench", "scale", *scale, "seed", *seed)
 	}
 
 	var level exp.HLevel
@@ -209,6 +221,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
 			st.Hits, st.Misses, rate, cfg.Memo.Len())
+	}
+	if tracer != nil {
+		// Closed before the failure exit path (os.Exit skips defers).
+		cfg.Trace.End()
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "fallbench: trace: %v\n", err)
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "fallbench: %d attack run(s) failed\n", failed)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/keyconfirm"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/sat"
 )
@@ -35,6 +36,7 @@ func main() {
 		solver     = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL)")
 		portfolio  = flag.String("portfolio", "", "race engines per query: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
 		memo       = flag.Bool("memo", false, "share a cross-query verdict cache across the P/Q/D solvers (verdicts unchanged; hit statistics on stderr)")
+		tracePath  = flag.String("trace", "", "write an NDJSON span trace of the run to FILE (verdicts and stdout unchanged; analyze with tracestat)")
 	)
 	flag.Parse()
 	if *lockedPath == "" || *oraclePath == "" {
@@ -74,6 +76,20 @@ func main() {
 		}
 		setup.Memo = sat.NewMemo(sat.DefaultMemoEntries)
 	}
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *tracePath != "" {
+		tracer, err = obs.NewFileTracer(*tracePath)
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		root = tracer.Start("keyconfirm", "locked", *lockedPath, "candidates", len(cands))
+		if setup == nil {
+			setup = &attack.SolverSetup{}
+		}
+		setup.TraceTo(root)
+	}
+	ctx = obs.With(ctx, root)
 	atk := keyconfirm.New(keyconfirm.Options{DisableDoubleDIP: *pureAlg4})
 	res, err := atk.Run(ctx, attack.Target{
 		Locked:     locked,
@@ -90,6 +106,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses\n", st.Hits, st.Misses)
 	}
 	setup.Close()
+	if tracer != nil {
+		// Closed after the session spans and before the os.Exit paths.
+		root.Set("status", res.Status.String())
+		root.End()
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "keyconfirm: trace: %v\n", err)
+		}
+	}
 	fmt.Printf("status: %s, iterations: %d, oracle queries: %d, elapsed: %v\n",
 		res.Status, res.Iterations, res.OracleQueries, res.Elapsed.Round(time.Millisecond))
 	if res.Status == attack.StatusTimeout {

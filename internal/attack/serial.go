@@ -61,6 +61,12 @@ type ResultJSON struct {
 	// Engines lists the resolved solver engine labels the run raced
 	// (SolverSetup.EngineLabels): ["internal"] for the default engine.
 	Engines []string `json:"engines,omitempty"`
+	// SolveNS is the cumulative wall time spent inside solver
+	// Solve/SolveAssuming calls (SolverSetup.SolveTime) — the total a
+	// trace's query spans reconcile against (`tracestat -reconcile`).
+	// Zero (omitted) when the run used the built-in default engine
+	// with no setup attached.
+	SolveNS int64 `json:"solve_ns,omitempty"`
 }
 
 // JSON returns the serializable view of the result.

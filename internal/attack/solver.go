@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/internal/sat/bddengine"
 	"repro/internal/sat/procengine"
@@ -66,8 +67,29 @@ type SolverSetup struct {
 	memoCtr sat.MemoCounters
 	solveNS atomic.Int64
 
+	// trace, when non-nil, is the fallback parent span for query spans
+	// built by engines whose construction context carries no span of
+	// its own, and the parent of the per-session spans emitted at
+	// Close. Set once via TraceTo before the run starts.
+	trace *obs.Span
+
 	mu    sync.Mutex
 	hosts map[int]*procengine.Host // persistent-session hosts by spec slot
+}
+
+// TraceTo attaches the setup to a tracing span: every engine the
+// factory builds afterwards emits one child span per solver query
+// (engine label, verdict, conflicts/decisions delta, memo hit/miss,
+// cancellation cause), and Close emits one span per persistent
+// session (cmd, spawn count, broken state). Queries whose build
+// context carries a more specific span (a grid cell, a query family)
+// parent there instead. Call before the run begins; nil-safe on both
+// sides, and a setup never traced pays one nil check per solve.
+func (s *SolverSetup) TraceTo(sp *obs.Span) {
+	if s == nil || sp == nil {
+		return
+	}
+	s.trace = sp
 }
 
 // NewSolverSetup derives the portfolio configs (sat.PortfolioConfigs)
@@ -163,9 +185,10 @@ func (s *SolverSetup) Hosts() map[int]*procengine.Host {
 	return out
 }
 
-// Close shuts down any persistent solver sessions the setup spawned.
-// Safe on a nil or session-less setup; engines already built fall back
-// to one-shot solving if used afterwards.
+// Close shuts down any persistent solver sessions the setup spawned,
+// emitting one trace span per session when the setup is traced. Safe
+// on a nil or session-less setup; engines already built fall back to
+// one-shot solving if used afterwards.
 func (s *SolverSetup) Close() error {
 	if s == nil {
 		return nil
@@ -173,7 +196,12 @@ func (s *SolverSetup) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
-	for _, h := range s.hosts {
+	for slot, h := range s.hosts {
+		if s.trace != nil {
+			sp := s.trace.Child("session",
+				"slot", slot, "cmd", h.Cmd(), "spawns", h.Spawns(), "broken", h.Broken())
+			sp.EndAfter(0)
+		}
 		if err := h.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -248,10 +276,12 @@ func (s *SolverSetup) Factory() SolverFactory {
 }
 
 // wrap layers the setup's cross-cutting engine middleware over a built
-// engine: the shared verdict memo (when enabled) and the solve-time
-// accumulator. Verdicts and models are unchanged — the memo replays
-// query history on misses so cached and uncached runs are
-// state-identical, and the timer only observes.
+// engine: the shared verdict memo (when enabled), the solve-time
+// accumulator, and — when a span reaches the build site via ctx or
+// TraceTo — per-query trace emission. Verdicts and models are
+// unchanged — the memo replays query history on misses so cached and
+// uncached runs are state-identical, and the timer/tracer only
+// observe.
 func (s *SolverSetup) wrap(e sat.Engine, ctx context.Context) sat.Engine {
 	if s.Memo != nil {
 		me := sat.NewMemoEngine(s.Memo, &s.memoCtr, e)
@@ -260,7 +290,26 @@ func (s *SolverSetup) wrap(e sat.Engine, ctx context.Context) sat.Engine {
 		}
 		e = me
 	}
-	return &timedEngine{inner: e, ns: &s.solveNS}
+	t := &timedEngine{inner: e, ns: &s.solveNS}
+	if sp := s.traceParent(ctx); sp != nil {
+		t.span = sp
+		t.ctx = ctx
+		t.label = s.Label()
+		if t.label == "" {
+			t.label = "internal"
+		}
+	}
+	return t
+}
+
+// traceParent resolves the span new query spans parent under: the
+// engine build context's span when present (grid cell, query family),
+// else the setup-level TraceTo span, else nil (tracing off).
+func (s *SolverSetup) traceParent(ctx context.Context) *obs.Span {
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		return sp
+	}
+	return s.trace
 }
 
 // SolveTime returns the cumulative wall time engines built by this
@@ -285,11 +334,19 @@ func (s *SolverSetup) MemoStats() *sat.MemoStats {
 }
 
 // timedEngine accumulates SolveAssuming wall time into the setup's
-// counter. It forwards frozen-prefix priming so the engines below it
-// keep their O(1) loading.
+// counter and, when traced, emits one span per query. It forwards
+// frozen-prefix priming so the engines below it keep their O(1)
+// loading.
 type timedEngine struct {
 	inner sat.Engine
 	ns    *atomic.Int64
+
+	// span, when non-nil, parents a "query" span per solve; the extra
+	// bookkeeping (Stats deltas, memo attribution) only runs then, so
+	// the untraced path is one nil check.
+	span  *obs.Span
+	ctx   context.Context
+	label string
 }
 
 func (t *timedEngine) NewVar() int                    { return t.inner.NewVar() }
@@ -298,9 +355,45 @@ func (t *timedEngine) AddClause(lits ...sat.Lit) bool { return t.inner.AddClause
 func (t *timedEngine) Solve() sat.Status              { return t.SolveAssuming(nil) }
 
 func (t *timedEngine) SolveAssuming(assumptions []sat.Lit) sat.Status {
+	if t.span == nil {
+		start := time.Now()
+		st := t.inner.SolveAssuming(assumptions)
+		t.ns.Add(int64(time.Since(start)))
+		return st
+	}
+	return t.solveTraced(assumptions)
+}
+
+// solveTraced is the traced solve path: the span's dur_ns is set to
+// exactly the timed window accumulated into the setup's solve
+// counter, so tracestat's per-query total reconciles with the
+// artifact's solve_ns to the nanosecond.
+func (t *timedEngine) solveTraced(assumptions []sat.Lit) sat.Status {
+	pre := t.inner.Stats()
+	sp := t.span.Child("query", "engine", t.label, "assumptions", len(assumptions))
 	start := time.Now()
 	st := t.inner.SolveAssuming(assumptions)
-	t.ns.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	t.ns.Add(int64(d))
+	delta := t.inner.Stats().Sub(pre)
+	sp.Set("verdict", st.String())
+	if delta.Conflicts > 0 {
+		sp.Set("conflicts", delta.Conflicts)
+	}
+	if delta.Decisions > 0 {
+		sp.Set("decisions", delta.Decisions)
+	}
+	if me, ok := t.inner.(*sat.MemoEngine); ok {
+		if me.LastFromCache() {
+			sp.Set("memo", "hit")
+		} else {
+			sp.Set("memo", "miss")
+		}
+	}
+	if st == sat.Unknown && t.ctx != nil && t.ctx.Err() != nil {
+		sp.Set("cancel", t.ctx.Err().Error())
+	}
+	sp.EndAfter(d)
 	return st
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/sat"
 )
 
@@ -38,6 +39,11 @@ type RunOptions struct {
 	// additionally carry solve-time and hit/miss diagnostics, which a
 	// merge aggregates.
 	Memo bool
+	// Trace, when non-empty, writes an NDJSON span trace of the shard
+	// to this path (atomic temp+rename; the file appears only when the
+	// shard finishes). Per-shard trace files merge in `campaign merge
+	// -traces` and cmd/tracestat.
+	Trace string
 
 	// afterArtifact is a test seam invoked after each artifact lands on
 	// disk (used to kill a shard deterministically mid-flight).
@@ -105,6 +111,21 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 	}
 	if opts.Memo {
 		expCfg.Memo = sat.NewMemo(sat.DefaultMemoEntries)
+	}
+	if opts.Trace != "" {
+		tracer, err := obs.NewFileTracer(opts.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: trace: %w", err)
+		}
+		root := tracer.Start("campaign.shard",
+			"plan", plan.Hash, "shard", opts.ShardIndex, "shards", opts.ShardCount)
+		expCfg.Trace = root
+		defer func() {
+			root.End()
+			if err := tracer.Close(); err != nil && opts.Log != nil {
+				fmt.Fprintf(opts.Log, "campaign: trace: %v\n", err)
+			}
+		}()
 	}
 
 	report := &RunReport{ShardCases: len(idxs)}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/fall"
 	"repro/internal/genbench"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/sat"
 )
@@ -170,6 +171,13 @@ type Config struct {
 	// (verdicts and keys are unchanged — the memo replays query history
 	// on misses). Like Workers and Adapt it is never serialized.
 	Memo *sat.Memo
+	// Trace is the runtime-only parent span of the run: each unit gets
+	// a child span carried through its context into the grid cells,
+	// query families, and individual solver queries. Like Memo,
+	// attaching a trace forces a solver setup even for
+	// otherwise-default configs (verdicts unchanged; traces go to
+	// their own sink, never stdout). Never serialized.
+	Trace *obs.Span
 }
 
 // ApplySolverFlags resolves the -solver/-portfolio flag grammar
@@ -198,10 +206,10 @@ func (cfg Config) solverSetup() *attack.SolverSetup {
 		s.Global = cfg.Adapt
 	case cfg.Portfolio >= 2 || cfg.Solver != (sat.Config{}):
 		s = attack.NewSolverSetup(cfg.Solver, cfg.Portfolio)
-	case cfg.Memo != nil:
+	case cfg.Memo != nil || cfg.Trace != nil:
 		// A zero-value setup builds exactly the default engine, so the
-		// memo can attach without changing verdicts or artifacts beyond
-		// the memo/solve-time fields themselves.
+		// memo or tracer can attach without changing verdicts or
+		// artifacts beyond the memo/solve-time fields themselves.
 		s = &attack.SolverSetup{}
 	default:
 		return nil
@@ -478,6 +486,7 @@ func attackCtx(ctx context.Context, cfg Config) (context.Context, context.Cancel
 func RunFALL(ctx context.Context, cs *Case, analysis fall.Analysis, cfg Config) Outcome {
 	out := Outcome{Circuit: cs.Spec.Name, Level: cs.Level, Attack: analysis.String()}
 	setup := cfg.solverSetup()
+	setup.TraceTo(obs.SpanFrom(ctx))
 	out.SolverConfig = setup.Label()
 	rctx, cancel := attackCtx(ctx, cfg)
 	defer cancel()
@@ -509,6 +518,7 @@ func RunFALL(ctx context.Context, cs *Case, analysis fall.Analysis, cfg Config) 
 func RunSAT(ctx context.Context, cs *Case, cfg Config) Outcome {
 	out := Outcome{Circuit: cs.Spec.Name, Level: cs.Level, Attack: "SAT-Attack"}
 	setup := cfg.solverSetup()
+	setup.TraceTo(obs.SpanFrom(ctx))
 	out.SolverConfig = setup.Label()
 	rctx, cancel := attackCtx(ctx, cfg)
 	defer cancel()
@@ -651,6 +661,7 @@ func (r *Fig6CaseResult) Failed() bool { return r.SA.Failed || !r.KCRan }
 func RunFig6Case(ctx context.Context, cs *Case, cfg Config) Fig6CaseResult {
 	r := Fig6CaseResult{Circuit: cs.Spec.Name, Level: cs.Level}
 	setup := cfg.solverSetup()
+	setup.TraceTo(obs.SpanFrom(ctx))
 	r.KCSolverConfig = setup.Label()
 	fallAtk := fall.New(fall.Options{Enc: cfg.Enc})
 	var cands []attack.Key

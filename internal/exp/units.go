@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fall"
 	"repro/internal/genbench"
+	"repro/internal/obs"
 )
 
 // This file defines the unit layer underneath the suite entry points: a
@@ -305,6 +306,12 @@ func runUnit(ctx context.Context, u Unit, byKey map[caseKey]*Case, cfg Config) U
 	// ctx checks; campaign shards never persist either kind.)
 	if ctx.Err() != nil && u.Kind != UnitTable1 {
 		return cancelledUnit(u)
+	}
+	// One trace span per unit (traced runs only): phases, grid cells
+	// and solver queries of the unit parent here through the context.
+	if sp := cfg.Trace.Child("unit", "id", u.ID()); sp != nil {
+		ctx = obs.With(ctx, sp)
+		defer sp.End()
 	}
 	switch u.Kind {
 	case UnitTable1:

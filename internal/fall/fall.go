@@ -32,6 +32,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/circuit"
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/sat"
 )
 
@@ -727,16 +728,21 @@ func Attack(ctx context.Context, locked *circuit.Circuit, opts Options) (*Result
 	}
 	start := time.Now()
 	res := &Result{}
+	root := obs.SpanFrom(ctx)
 
 	t0 := time.Now()
+	spComp := root.Child("fall.comparators")
 	res.Comparators = FindComparators(locked)
 	res.ComparatorTime = time.Since(t0)
+	spComp.Set("comparators", len(res.Comparators))
+	spComp.EndAfter(res.ComparatorTime)
 	if len(res.Comparators) == 0 {
 		res.Total = time.Since(start)
 		return res, nil
 	}
 
 	t0 = time.Now()
+	spMatch := root.Child("fall.match")
 	seen := map[int]bool{}
 	for _, cp := range res.Comparators {
 		if !seen[cp.Input] {
@@ -747,15 +753,21 @@ func Attack(ctx context.Context, locked *circuit.Circuit, opts Options) (*Result
 	sort.Ints(res.CompX)
 	res.Candidates = SupportMatch(locked, res.CompX)
 	res.MatchTime = time.Since(t0)
+	spMatch.Set("candidates", len(res.Candidates))
+	spMatch.EndAfter(res.MatchTime)
 
 	m := len(res.CompX)
 	pairing := buildPairing(locked, res.Comparators)
 
 	t0 = time.Now()
+	spAnalysis := root.Child("fall.analysis")
 	defer func() {
 		res.AnalysisTime = time.Since(t0)
 		res.Total = time.Since(start)
+		spAnalysis.Set("keys", len(res.Keys))
+		spAnalysis.EndAfter(res.AnalysisTime)
 	}()
+	ctx = obs.With(ctx, spAnalysis)
 
 	jobs := make([]analysisJob, 0, 2*len(res.Candidates))
 	for _, cand := range res.Candidates {
@@ -831,11 +843,33 @@ func runAnalysisGrid(ctx context.Context, locked *circuit.Circuit, jobs []analys
 	return outcomes
 }
 
-// analyzeCell runs the density filter, the selected functional analysis
-// and the equivalence check for one candidate×polarity cell. All solver
-// state is created here, per cell, so cells never share solvers; only
-// the immutable frozen prefixes in pre are shared across cells.
+// analyzeCell runs one candidate×polarity cell, wrapping it in a
+// trace span (parenting every solver query the cell issues) when the
+// grid runs traced.
 func analyzeCell(ctx context.Context, locked *circuit.Circuit, job analysisJob, m int, opts *Options, pairing map[int]pairEntry, pre *candPrefixes) analysisOutcome {
+	cell := obs.SpanFrom(ctx).Child("fall.cell", "node", job.cand, "neg", job.neg)
+	if cell == nil {
+		return analyzeCellInner(ctx, locked, job, m, opts, pairing, pre)
+	}
+	oc := analyzeCellInner(obs.With(ctx, cell), locked, job, m, opts, pairing, pre)
+	switch {
+	case oc.err != nil:
+		cell.Set("outcome", "error")
+	case oc.ok:
+		cell.Set("outcome", "key")
+	default:
+		cell.Set("outcome", "rejected")
+	}
+	cell.End()
+	return oc
+}
+
+// analyzeCellInner runs the density filter, the selected functional
+// analysis and the equivalence check for one candidate×polarity cell.
+// All solver state is created here, per cell, so cells never share
+// solvers; only the immutable frozen prefixes in pre are shared
+// across cells.
+func analyzeCellInner(ctx context.Context, locked *circuit.Circuit, job analysisJob, m int, opts *Options, pairing map[int]pairEntry, pre *candPrefixes) analysisOutcome {
 	if ctx.Err() != nil {
 		return analysisOutcome{err: ErrTimeout}
 	}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/circuit"
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/sat"
 )
@@ -91,6 +92,21 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 		return nil, err
 	}
 
+	// One trace span per query family: every query a solver issues
+	// parents under its family span, so tracestat can split the run
+	// into candidate search (P), termination miters (Q) and the
+	// double-DIP acceleration (D).
+	root := obs.SpanFrom(ctx)
+	pSpan := root.Child("kc.P")
+	qSpan := root.Child("kc.Q")
+	var dSpan *obs.Span
+	defer func() {
+		pSpan.Set("iterations", res.Iterations)
+		pSpan.End()
+		qSpan.End()
+		dSpan.End()
+	}()
+
 	// Each solver's initial encoding is built into a clause stream and
 	// frozen; the engine is primed with the frozen prefix in one shot
 	// (content-hashed and O(1) for persistent or memoizing backends),
@@ -109,7 +125,7 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 	if len(candidates) > 0 {
 		encodePhi(pe, locked, keys, kp, candidates)
 	}
-	p := attack.NewEngineOn(ctx, opts.Solver, pst.Freeze())
+	p := attack.NewEngineOn(obs.With(ctx, pSpan), opts.Solver, pst.Freeze())
 	pe.S = p
 
 	// Solver Q: single-copy miter per Algorithm 4 (the sound terminator).
@@ -121,7 +137,7 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 	qe.NotEqual(cnf.EncodedOutputs(locked, q1lits), cnf.EncodedOutputs(locked, q2lits))
 	qK1 := cnf.InputLits(keys, q1lits)
 	qK2given := attack.KeyGiven(keys, cnf.InputLits(keys, q2lits))
-	q := attack.NewEngineOn(ctx, opts.Solver, qst.Freeze())
+	q := attack.NewEngineOn(obs.With(ctx, qSpan), opts.Solver, qst.Freeze())
 	qe.S = q
 
 	// Solver D: accelerated double-DIP miter (two other-key copies).
@@ -146,7 +162,8 @@ func Confirm(ctx context.Context, locked *circuit.Circuit, candidates []map[stri
 		dPIs = cnf.InputLits(locked.PrimaryInputs(), d1)
 		dK2given = attack.KeyGiven(keys, k2)
 		dK3given = attack.KeyGiven(keys, k3)
-		d = attack.NewEngineOn(ctx, opts.Solver, dst.Freeze())
+		dSpan = root.Child("kc.D")
+		d = attack.NewEngineOn(obs.With(ctx, dSpan), opts.Solver, dst.Freeze())
 		de.S = d
 	}
 

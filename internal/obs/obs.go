@@ -1,0 +1,333 @@
+// Package obs is the repo's dependency-free observability layer:
+// hierarchical tracing spans (attack → phase → grid cell / query
+// family → individual solver query), pluggable span sinks (NDJSON
+// files written with the campaign store's atomic temp+rename
+// discipline, bounded in-memory rings for the daemon), and a
+// Prometheus-text-format metrics registry.
+//
+// The tracer is nil-safe end to end: every method on a nil *Tracer or
+// nil *Span is a no-op, so instrumented code paths carry exactly one
+// nil check when tracing is off and default outputs stay
+// byte-identical. Spans are emitted to their sink on End; emission
+// order across goroutines is unspecified (analysis reconstructs the
+// hierarchy from parent ids), which keeps hot paths lock-free except
+// for the sink append itself.
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is the serialized form of one finished span — one NDJSON
+// line in a trace file.
+type SpanData struct {
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"` // unix nanoseconds
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Sink receives finished spans. Implementations must be safe for
+// concurrent Emit calls (grid workers end spans in parallel).
+type Sink interface {
+	Emit(SpanData)
+	Close() error
+}
+
+// Tracer mints spans against one sink. The zero of usefulness is a
+// nil *Tracer, whose Start returns a nil *Span: the whole
+// instrumentation surface degrades to no-ops.
+type Tracer struct {
+	sink Sink
+	next atomic.Uint64
+}
+
+// New returns a tracer emitting to sink.
+func New(sink Sink) *Tracer {
+	return &Tracer{sink: sink}
+}
+
+// NewFileTracer opens an NDJSON FileSink at path and returns a tracer
+// over it. Close the tracer to flush and atomically publish the file.
+func NewFileTracer(path string) (*Tracer, error) {
+	fs, err := NewFileSink(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(fs), nil
+}
+
+// Start begins a root span. kv are alternating attribute key/value
+// pairs. Nil-safe.
+func (t *Tracer) Start(name string, kv ...any) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(0, name, kv)
+}
+
+// Close closes the underlying sink (flushing file sinks). Nil-safe.
+func (t *Tracer) Close() error {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	return t.sink.Close()
+}
+
+func (t *Tracer) newSpan(parent uint64, name string, kv []any) *Span {
+	s := &Span{t: t, id: t.next.Add(1), parent: parent, name: name, start: time.Now()}
+	s.setAll(kv)
+	return s
+}
+
+// Span is one node of a trace. All methods are nil-safe so call sites
+// never branch on whether tracing is enabled.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Child begins a sub-span. kv are alternating attribute key/value
+// pairs. Nil-safe: a nil receiver returns a nil child.
+func (s *Span) Child(name string, kv ...any) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(s.id, name, kv)
+}
+
+// Set records one attribute. Nil-safe.
+func (s *Span) Set(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = val
+	s.mu.Unlock()
+}
+
+func (s *Span) setAll(kv []any) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		if k, ok := kv[i].(string); ok {
+			s.Set(k, kv[i+1])
+		}
+	}
+}
+
+// ID returns the span id (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End finishes the span, measuring its duration from Start, and emits
+// it to the tracer's sink. Ending twice emits once. Nil-safe.
+func (s *Span) End() {
+	s.endWith(time.Since(s.startTime()))
+}
+
+// EndAfter finishes the span with an explicit duration — used by the
+// solver query layer so a span's dur_ns equals the timed solve wall
+// exactly (attribute bookkeeping happens outside the measured window).
+func (s *Span) EndAfter(d time.Duration) {
+	s.endWith(d)
+}
+
+func (s *Span) startTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+func (s *Span) endWith(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	if s.t == nil || s.t.sink == nil {
+		return
+	}
+	s.t.sink.Emit(SpanData{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNS: s.start.UnixNano(),
+		DurNS:   int64(d),
+		Attrs:   attrs,
+	})
+}
+
+type ctxKey struct{}
+
+// With returns ctx carrying sp as the current span (ctx unchanged for
+// a nil span).
+func With(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFrom returns the current span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// FileSink writes spans as NDJSON to a temporary file in the target
+// directory and renames it into place on Close — the same atomic
+// discipline the campaign artifact store uses, so a killed run never
+// leaves a half-written trace under the final name.
+type FileSink struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	dst string
+	err error
+}
+
+// NewFileSink creates the sink. The final file appears at path only
+// when Close succeeds.
+func NewFileSink(path string) (*FileSink, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{f: f, w: bufio.NewWriter(f), dst: path}, nil
+}
+
+// Emit appends one span line. Write errors are sticky and surface
+// from Close.
+func (s *FileSink) Emit(sp SpanData) {
+	b, err := json.Marshal(sp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.w == nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// Close flushes and atomically renames the temp file to its final
+// path (removing the temp file instead if any write failed).
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return s.err
+	}
+	f, w := s.f, s.w
+	s.f, s.w = nil, nil
+	if s.err == nil {
+		s.err = w.Flush()
+	}
+	if err := f.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.err != nil {
+		os.Remove(f.Name())
+		return s.err
+	}
+	s.err = os.Rename(f.Name(), s.dst)
+	if s.err != nil {
+		os.Remove(f.Name())
+	}
+	return s.err
+}
+
+// Ring is a bounded in-memory span sink: the daemon keeps one per job
+// so traces are inspectable over HTTP without unbounded growth. When
+// full, the oldest spans are overwritten.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []SpanData
+	next  int
+	wrap  bool
+	total int64
+}
+
+// NewRing returns a ring holding at most capacity spans (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]SpanData, 0, capacity)}
+}
+
+// Emit records a span, evicting the oldest when full.
+func (r *Ring) Emit(sp SpanData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, sp)
+		return
+	}
+	r.buf[r.next] = sp
+	r.next = (r.next + 1) % cap(r.buf)
+	r.wrap = true
+}
+
+// Close is a no-op (rings live as long as their job record).
+func (r *Ring) Close() error { return nil }
+
+// Snapshot returns the retained spans, oldest first.
+func (r *Ring) Snapshot() []SpanData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanData, 0, len(r.buf))
+	if r.wrap {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Total returns how many spans were emitted over the ring's lifetime
+// (including evicted ones).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

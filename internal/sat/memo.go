@@ -180,6 +180,12 @@ func NewMemoEngine(memo *Memo, ctr *MemoCounters, inner Engine) *MemoEngine {
 // Inner returns the wrapped engine that serves cache misses.
 func (m *MemoEngine) Inner() Engine { return m.inner }
 
+// LastFromCache reports whether the most recent Solve/SolveAssuming
+// was answered from the memo without touching the inner engine —
+// per-query hit attribution for tracing (the counters only give
+// totals).
+func (m *MemoEngine) LastFromCache() bool { return m.cached != nil }
+
 // LoadFrozen adopts a frozen prefix (O(1)); the engine must be fresh.
 func (m *MemoEngine) LoadFrozen(f *Frozen) {
 	if m.stream.NumVars() != 0 || len(m.stream.ops) != 0 {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/circuit"
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/sat"
 )
@@ -70,6 +71,17 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 		return nil, err
 	}
 
+	// One trace span per query family: the distinguishing-input miter
+	// (Q) and the key-extraction solver (P).
+	root := obs.SpanFrom(ctx)
+	qSpan := root.Child("sat.miter")
+	pSpan := root.Child("sat.extract")
+	defer func() {
+		qSpan.Set("iterations", res.Iterations)
+		qSpan.End()
+		pSpan.End()
+	}()
+
 	// Miter solver Q. The two-copy miter is encoded into a clause
 	// stream, frozen, and loaded into the engine in one shot (O(1) and
 	// content-hashed for persistent or memoizing backends); the
@@ -85,7 +97,7 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 	qe.NotEqual(cnf.EncodedOutputs(locked, lits1), cnf.EncodedOutputs(locked, lits2))
 	k1 := cnf.InputLits(keys, lits1)
 	k2 := cnf.InputLits(keys, lits2)
-	q := attack.NewEngineOn(ctx, opts.Solver, qst.Freeze())
+	q := attack.NewEngineOn(obs.With(ctx, qSpan), opts.Solver, qst.Freeze())
 	qe.S = q
 
 	// Key-extraction solver P accumulates I/O constraints on one key copy.
@@ -97,7 +109,7 @@ func Run(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts O
 		kp[i] = pe.NewLit()
 		givenP[k] = kp[i]
 	}
-	p := attack.NewEngineOn(ctx, opts.Solver, pst.Freeze())
+	p := attack.NewEngineOn(obs.With(ctx, pSpan), opts.Solver, pst.Freeze())
 	pe.S = p
 
 	for {

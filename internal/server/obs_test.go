@@ -1,0 +1,159 @@
+package server_test
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// lockedBuffer serializes writes: slog records arrive from both the
+// worker goroutines and the request middleware.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestObservabilityEndpoints drives one job through a daemon with
+// tracing and structured logging on, then checks the three surfaces:
+// /metrics.prom parses as Prometheus text, /jobs/{id}/trace serves a
+// span tree whose query spans reconcile with the artifact's solve_ns,
+// and the request log carries tenant/job/status/duration fields.
+func TestObservabilityEndpoints(t *testing.T) {
+	orig, locked, _, _ := newTTLockFixture(t)
+	logBuf := &lockedBuffer{}
+	_, ts := startDaemon(t, server.Config{
+		Workers:    1,
+		TraceSpans: 1 << 14,
+		Logger:     slog.New(slog.NewTextHandler(logBuf, nil)),
+	})
+
+	resp, view := submit(t, ts, "obs-tenant", server.JobSpec{Attack: "sat", Locked: locked, Oracle: orig, Seed: 5})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	final := waitTerminal(t, ts, view.ID, 30*time.Second)
+	if final.State != server.StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	var artifact struct {
+		Result *struct {
+			SolveNS int64 `json:"solve_ns"`
+		} `json:"result"`
+	}
+	if resp := getJSON(t, ts, "/jobs/"+view.ID+"/result", &artifact); resp.StatusCode != http.StatusOK {
+		t.Fatalf("result endpoint: %d", resp.StatusCode)
+	}
+	if artifact.Result == nil || artifact.Result.SolveNS <= 0 {
+		t.Fatalf("artifact missing solve_ns: %+v", artifact.Result)
+	}
+
+	// Trace endpoint: NDJSON spans, job root present, query spans sum to
+	// the artifact's solve_ns (the tracestat -reconcile contract).
+	tResp, err := ts.Client().Get(ts.URL + "/jobs/" + view.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tResp.Body.Close()
+	if tResp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint: %d", tResp.StatusCode)
+	}
+	if ct := tResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("trace content type %q", ct)
+	}
+	spans, err := obs.ReadSpans(tResp.Body)
+	if err != nil {
+		t.Fatalf("parse trace: %v", err)
+	}
+	rep := obs.Analyze([]*obs.TraceFile{{Path: "http", Spans: spans}}, 5)
+	if rep.Queries == 0 {
+		t.Fatal("trace has no query spans")
+	}
+	if cov := rep.Reconcile(artifact.Result.SolveNS); cov < 0.95 {
+		t.Errorf("trace covers %.1f%% of artifact solve_ns, want >= 95%%", 100*cov)
+	}
+	var haveRoot bool
+	for _, sp := range spans {
+		if sp.Name == "job" {
+			haveRoot = true
+			if sp.Attrs["job"] != view.ID || sp.Attrs["tenant"] != "obs-tenant" {
+				t.Errorf("job root attrs: %v", sp.Attrs)
+			}
+		}
+	}
+	if !haveRoot {
+		t.Error("no job root span in trace")
+	}
+
+	// A job without tracing context still 404s cleanly on unknown ids.
+	if r404, _ := ts.Client().Get(ts.URL + "/jobs/nope/trace"); r404.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace: %d", r404.StatusCode)
+	}
+
+	// Prometheus endpoint: correct content type, every line matches the
+	// exposition grammar, and the job histogram counted our run.
+	pResp, err := ts.Client().Get(ts.URL + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pResp.Body.Close()
+	if ct := pResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("prom content type %q", ct)
+	}
+	body, err := io.ReadAll(pResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	lineRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9eE+.]+(Inf)?$`)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !lineRE.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"attackd_job_seconds_count 1",
+		"attackd_uptime_seconds",
+		"attackd_queue_depth",
+		`attackd_jobs{state="done"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics.prom missing %q:\n%s", want, out)
+		}
+	}
+
+	// Request log: one line per API call with tenant, job, status, dur.
+	logs := logBuf.String()
+	if !regexp.MustCompile(`msg=request method=POST path=/jobs tenant=obs-tenant status=202`).MatchString(logs) {
+		t.Errorf("submit request line missing:\n%s", logs)
+	}
+	if !strings.Contains(logs, "msg=\"job finished\" job="+view.ID) {
+		t.Errorf("job transition line missing:\n%s", logs)
+	}
+	if !regexp.MustCompile(`path=/jobs/` + view.ID + `/trace [^\n]*status=200 dur=[^ ]+ job=` + view.ID).MatchString(logs) {
+		t.Errorf("trace request line missing job id/duration:\n%s", logs)
+	}
+}

@@ -6,15 +6,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/attack"
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/sat"
 )
 
@@ -49,8 +52,15 @@ type Config struct {
 	// Verdicts are unchanged — the cache replays query history on
 	// misses — and hit/miss counters surface in GET /metrics.
 	Memo *sat.Memo
-	// Log, when non-nil, receives one line per job transition.
-	Log io.Writer
+	// TraceSpans, when > 0, keeps an in-memory span trace per job: each
+	// job runs under an obs.Tracer emitting to a bounded ring of this
+	// capacity (oldest spans evicted), served as NDJSON from
+	// GET /jobs/{id}/trace. 0 disables per-job tracing.
+	TraceSpans int
+	// Logger, when non-nil, receives structured log records: one per
+	// job transition and one per API request (method, path, tenant, job
+	// id, status, duration).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -82,12 +92,17 @@ type Server struct {
 	limiter *rateLimiter
 	started time.Time
 
+	reg          *obs.Registry  // Prometheus-text metrics, served at /metrics.prom
+	jobSeconds   *obs.Histogram // wall-clock of finished job runs
+	solveSeconds *obs.Histogram // per-job cumulative SAT solve time
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	cancels  map[string]context.CancelFunc
 	events   map[string][]Event // per-job history, replayed to late subscribers
 	subs     map[string]map[chan Event]bool
 	seq      map[string]int64 // per-job event sequence
+	traces   map[string]*obs.Ring
 	stats    []sat.ConfigStats
 	draining bool
 	drainNow bool // grace expired: dispatch must not start anything
@@ -117,7 +132,9 @@ func New(cfg Config) (*Server, error) {
 		events:  map[string][]Event{},
 		subs:    map[string]map[chan Event]bool{},
 		seq:     map[string]int64{},
+		traces:  map[string]*obs.Ring{},
 	}
+	s.buildRegistry()
 	jobs, err := store.List()
 	if err != nil {
 		return nil, err
@@ -202,10 +219,13 @@ func (s *Server) Drain(grace time.Duration) {
 	<-done
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Log != nil {
-		fmt.Fprintf(s.cfg.Log, "attackd: "+format+"\n", args...)
+// log returns the configured structured logger, or a discard logger
+// when logging is off — call sites never branch.
+func (s *Server) log() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
 	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // publish appends a job event to the history and fans it out to live
@@ -291,12 +311,13 @@ func (s *Server) runJob(id string) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancels[id] = cancel
 	spec := j.Spec
+	tenant := j.Tenant
 	if err := s.store.Put(j); err != nil {
-		s.logf("persist %s: %v", id, err)
+		s.log().Error("persist job", "job", id, "err", err)
 	}
 	s.publishLocked(j, "", "")
 	s.mu.Unlock()
-	s.logf("job %s running (%s, tenant %s)", id, spec.Attack, j.Tenant)
+	s.log().Info("job running", "job", id, "attack", spec.Attack, "tenant", tenant)
 	defer cancel()
 
 	timeout := spec.Timeout
@@ -327,8 +348,29 @@ func (s *Server) runJob(id string) {
 			}
 			r.setup.Memo = s.cfg.Memo
 		}
+		var root *obs.Span
+		if s.cfg.TraceSpans > 0 {
+			// Per-job span trace into a bounded ring, served from
+			// GET /jobs/{id}/trace. Like the memo path, tracing forces a
+			// zero-value setup, which builds exactly the default engine.
+			ring := obs.NewRing(s.cfg.TraceSpans)
+			root = obs.New(ring).Start("job", "job", id, "attack", spec.Attack, "tenant", tenant)
+			if r.setup == nil {
+				r.setup = &attack.SolverSetup{}
+				r.target.Solver = r.setup.Factory()
+			}
+			r.setup.TraceTo(root)
+			runCtx = obs.With(runCtx, root)
+			s.mu.Lock()
+			s.traces[id] = ring
+			s.mu.Unlock()
+		}
 		res, rerr = r.atk.Run(runCtx, r.target)
 		r.setup.Close() // release persistent solver processes, if any
+		if res != nil {
+			root.Set("status", res.Status.String())
+		}
+		root.End() // after Close, so persistent-session spans precede it
 	}
 	wall := time.Since(start)
 
@@ -345,14 +387,20 @@ func (s *Server) runJob(id string) {
 		j.Started = nil
 		j.drainCancel = false
 		if err := s.store.Put(j); err != nil {
-			s.logf("persist %s: %v", id, err)
+			s.log().Error("persist job", "job", id, "err", err)
 		}
 		s.publishLocked(j, "", "requeued by graceful drain")
 	case rerr != nil:
+		s.jobSeconds.Observe(wall.Seconds())
 		s.finalizeLocked(j, StateFailed, nil, rerr.Error(), nil, "")
 	default:
+		s.jobSeconds.Observe(wall.Seconds())
+		if solve := r.setup.SolveTime(); solve > 0 {
+			s.solveSeconds.Observe(solve.Seconds())
+		}
 		rj := res.JSON()
 		rj.WallNS = wall
+		rj.SolveNS = int64(r.setup.SolveTime())
 		rj.Engines = r.setup.EngineLabels()
 		recovered := ""
 		if res.Recovered != nil {
@@ -374,7 +422,7 @@ func (s *Server) finalizeLocked(j *Job, state JobState, res *attack.ResultJSON, 
 	j.PortfolioStats = stats
 	j.RecoveredBench = recovered
 	if err := s.store.Put(j); err != nil {
-		s.logf("persist %s: %v", j.ID, err)
+		s.log().Error("persist job", "job", j.ID, "err", err)
 	}
 	if len(stats) > 0 {
 		s.stats = sat.MergeStats(s.stats, stats)
@@ -384,17 +432,14 @@ func (s *Server) finalizeLocked(j *Job, state JobState, res *attack.ResultJSON, 
 		status = res.Status.String()
 	}
 	s.publishLocked(j, status, errMsg)
-	s.logf("job %s %s%s", j.ID, state, statusSuffix(status, errMsg))
-}
-
-func statusSuffix(status, errMsg string) string {
-	switch {
-	case status != "":
-		return " (" + status + ")"
-	case errMsg != "":
-		return " (" + errMsg + ")"
+	attrs := []any{"job", j.ID, "state", string(state)}
+	if status != "" {
+		attrs = append(attrs, "status", status)
 	}
-	return ""
+	if errMsg != "" {
+		attrs = append(attrs, "err", errMsg)
+	}
+	s.log().Info("job finished", attrs...)
 }
 
 // Handler returns the daemon's HTTP API:
@@ -404,8 +449,10 @@ func statusSuffix(status, errMsg string) string {
 //	GET    /jobs/{id}        one job's JobView
 //	GET    /jobs/{id}/events stream status events (SSE or NDJSON)
 //	GET    /jobs/{id}/result the persisted result artifact (terminal jobs)
+//	GET    /jobs/{id}/trace  the job's span trace as NDJSON (Config.TraceSpans > 0)
 //	DELETE /jobs/{id}        cancel a queued or running job
-//	GET    /metrics          queue/job/tenant/engine statistics
+//	GET    /metrics          queue/job/tenant/engine statistics (JSON)
+//	GET    /metrics.prom     the same statistics plus latency histograms, Prometheus text format
 //	GET    /healthz          liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -414,13 +461,82 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.prom", s.handlePromMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
-	return mux
+	return s.withRequestLog(mux)
+}
+
+// withRequestLog logs one structured line per API call: method, path,
+// tenant, job id (when the path names one), response status, duration.
+// A nil Config.Logger bypasses the wrapper entirely.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	if s.cfg.Logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []any{
+			"method", r.Method, "path", r.URL.Path, "tenant", tenantOf(r),
+			"status", status, "dur", time.Since(start),
+		}
+		if id := jobIDFromPath(r.URL.Path); id != "" {
+			attrs = append(attrs, "job", id)
+		}
+		s.cfg.Logger.Info("request", attrs...)
+	})
+}
+
+// statusWriter records the response code for the request log. It
+// forwards Flush so event streams keep working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// jobIDFromPath extracts the job id from /jobs/{id}[/...] paths. The
+// request-log middleware runs outside the mux, so PathValue is not
+// populated yet.
+func jobIDFromPath(path string) string {
+	rest, ok := strings.CutPrefix(path, "/jobs/")
+	if !ok || rest == "" {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
 }
 
 // tenantOf extracts the submitting tenant from the API-key header.
@@ -509,7 +625,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	s.logf("job %s queued (%s, tenant %s)", id, spec.Attack, tenant)
+	s.log().Info("job queued", "job", id, "attack", spec.Attack, "tenant", tenant)
 	w.Header().Set("Location", "/jobs/"+id)
 	writeJSON(w, http.StatusAccepted, view)
 }
@@ -575,6 +691,31 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// handleTrace serves a job's retained span trace as NDJSON — the same
+// line format cmd/tracestat reads, so `curl .../trace > t.ndjson &&
+// tracestat t.ndjson` analyzes a daemon job like a CLI trace file.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	ring := s.traces[j.ID]
+	s.mu.Unlock()
+	if ring == nil {
+		writeError(w, http.StatusNotFound,
+			"no trace for job %s (daemon tracing is disabled, or the job has not started running)", j.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, sp := range ring.Snapshot() {
+		if err := enc.Encode(sp); err != nil {
+			return
+		}
+	}
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
