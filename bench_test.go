@@ -494,3 +494,114 @@ func BenchmarkSATAttackIterations(b *testing.B) {
 		}
 	}
 }
+
+// benchMemoFrozen builds the frozen prefix the memo benchmarks query:
+// PHP(7,6), a non-trivial UNSAT instance, so a miss pays a real solve
+// while a hit is a pure cache lookup.
+func benchMemoFrozen() *sat.Frozen {
+	s := sat.NewStream()
+	const p, holes = 7, 6
+	vars := make([][]int, p)
+	for pi := range vars {
+		vars[pi] = make([]int, holes)
+		for hi := range vars[pi] {
+			vars[pi][hi] = s.NewVar()
+		}
+	}
+	for pi := 0; pi < p; pi++ {
+		lits := make([]sat.Lit, holes)
+		for hi := 0; hi < holes; hi++ {
+			lits[hi] = sat.PosLit(vars[pi][hi])
+		}
+		s.AddClause(lits...)
+	}
+	for hi := 0; hi < holes; hi++ {
+		for a := 0; a < p; a++ {
+			for bb := a + 1; bb < p; bb++ {
+				s.AddClause(sat.NegLit(vars[a][hi]), sat.NegLit(vars[bb][hi]))
+			}
+		}
+	}
+	return s.Freeze()
+}
+
+// memoBenchSolve runs the benchmark query through one fresh MemoEngine
+// over m and returns which tier answered it.
+func memoBenchSolve(b *testing.B, frozen *sat.Frozen, m *sat.Memo) sat.MemoTier {
+	e := sat.NewMemoEngine(m, nil, sat.New())
+	sat.Prime(e, frozen)
+	if st := e.Solve(); st != sat.Unsat {
+		b.Fatalf("PHP(7,6): %v, want Unsat", st)
+	}
+	return e.LastTier()
+}
+
+// BenchmarkMemoHit measures an in-memory (L1) verdict-cache hit: key
+// hashing plus one map lookup, no solver.
+func BenchmarkMemoHit(b *testing.B) {
+	frozen := benchMemoFrozen()
+	memo := sat.NewMemo(0)
+	memoBenchSolve(b, frozen, memo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tier := memoBenchSolve(b, frozen, memo); tier != sat.TierMemory {
+			b.Fatalf("tier %v, want memory", tier)
+		}
+	}
+}
+
+// BenchmarkMemoMiss measures the same query uncached — the full solve
+// the memo tiers amortize (plus store overhead).
+func BenchmarkMemoMiss(b *testing.B) {
+	frozen := benchMemoFrozen()
+	for i := 0; i < b.N; i++ {
+		if tier := memoBenchSolve(b, frozen, sat.NewMemo(0)); tier != sat.TierMiss {
+			b.Fatalf("tier %v, want miss", tier)
+		}
+	}
+}
+
+// BenchmarkDiskMemoColdWarm measures the persistent tier's two ends:
+// cold (miss + record write-through) vs warm (a fresh process — empty
+// memory tier — answering from the on-disk store).
+func BenchmarkDiskMemoColdWarm(b *testing.B) {
+	frozen := benchMemoFrozen()
+	b.Run("cold", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			d, err := sat.OpenDiskMemo(fmt.Sprintf("%s/%d", dir, i), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := sat.NewMemo(0)
+			m.AttachDisk(d)
+			if tier := memoBenchSolve(b, frozen, m); tier != sat.TierMiss {
+				b.Fatalf("tier %v, want miss", tier)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		d, err := sat.OpenDiskMemo(dir, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed := sat.NewMemo(0)
+		seed.AttachDisk(d)
+		memoBenchSolve(b, frozen, seed)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh store handle per iteration models a fresh process:
+			// the open-time walk plus one record read replace the solve.
+			d2, err := sat.OpenDiskMemo(dir, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := sat.NewMemo(0)
+			m.AttachDisk(d2)
+			if tier := memoBenchSolve(b, frozen, m); tier != sat.TierDisk {
+				b.Fatalf("tier %v, want disk", tier)
+			}
+		}
+	})
+}

@@ -30,7 +30,6 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/obs"
 	"repro/internal/oracle"
-	"repro/internal/sat"
 )
 
 func main() {
@@ -47,6 +46,8 @@ func main() {
 		solver     = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL; see sat.ParseEngineSpec)")
 		portfolio  = flag.String("portfolio", "", "race engines per query, first verdict wins: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
 		memo       = flag.Bool("memo", false, "share a cross-query verdict cache across this run's solver queries (verdicts unchanged; hit statistics on stderr)")
+		memoDir    = flag.String("memo-dir", "", "persist the verdict cache in DIR, shared across runs (implies -memo; verdicts unchanged)")
+		memoMax    = flag.Int64("memo-max-bytes", 0, "size cap for -memo-dir before LRU eviction (0 = 1 GiB)")
 		tracePath  = flag.String("trace", "", "write an NDJSON span trace of the run to FILE (verdicts and stdout unchanged; analyze with tracestat)")
 		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON document on stdout (recovered netlists print as BENCH on stderr)")
 	)
@@ -77,11 +78,13 @@ func main() {
 	if err := setup.Check(); err != nil {
 		fatalf("%v", err)
 	}
-	if *memo {
+	if m, err := attack.NewMemoFromFlags(*memo, *memoDir, *memoMax); err != nil {
+		fatalf("%v", err)
+	} else if m != nil {
 		if setup == nil {
 			setup = &attack.SolverSetup{}
 		}
-		setup.Memo = sat.NewMemo(sat.DefaultMemoEntries)
+		setup.Memo = m
 	}
 	var tracer *obs.Tracer
 	var root *obs.Span
@@ -127,7 +130,7 @@ func main() {
 	}
 	setup.FprintWinStats(os.Stderr)
 	if st := setup.MemoStats(); st != nil {
-		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses\n", st.Hits, st.Misses)
+		attack.FprintMemoSummary(os.Stderr, setup.Memo, *st, -1)
 	}
 	setup.Close()
 	if tracer != nil {

@@ -130,6 +130,7 @@ func cmdPlan(args []string) {
 	solver := fs.String("solver", "", "solver engine spec for every attack and scoring miter (empty = baseline CDCL)")
 	portfolio := fs.String("portfolio", "", "race engines per solver query: integer width or engine list like internal,kissat,bdd")
 	adaptAfter := fs.Int64("adapt-after", 0, "retire an engine mid-run after it loses this many races without a win (0 = never)")
+	memoDir := fs.String("memo-dir", "", "record a persistent verdict-store directory in the plan: every shard run attaches the on-disk memo there (verdicts unchanged)")
 	suites := fs.String("suites", strings.Join(campaign.DefaultSuites(), ","), "report suites, comma-separated")
 	force := fs.Bool("force", false, "overwrite an existing, different plan")
 	fs.Parse(args)
@@ -144,6 +145,7 @@ func cmdPlan(args []string) {
 		Enc:        *enc,
 		Solver:     *solver,
 		AdaptAfter: *adaptAfter,
+		MemoDir:    *memoDir,
 		Suites:     strings.Split(*suites, ","),
 	}
 	// An integer -portfolio keeps the legacy field (and plan hash); an
@@ -186,22 +188,34 @@ func cmdPlan(args []string) {
 	fmt.Fprintf(os.Stderr, "campaign: planned %d cases into %s (hash %.12s…)\n", len(p.Cases), path, p.Hash)
 }
 
+// shardFlags collects the flags shared by run and retry.
+type shardFlags struct {
+	shardIndex, shardCount, workers *int
+	quiet, memo, diskMemo           *bool
+	learnFrom, memoDir, trace       *string
+	memoMax                         *int64
+}
+
 // runFlags declares the flags shared by run and retry on fs.
-func runFlags(fs *flag.FlagSet) (shardIndex, shardCount, workers *int, quiet, memo *bool, learnFrom, trace *string) {
-	shardIndex = fs.Int("shard-index", 0, "this shard's index in [0, shard-count)")
-	shardCount = fs.Int("shard-count", 1, "total number of shards")
-	workers = fs.Int("workers", runtime.GOMAXPROCS(0), "cases run concurrently (1 = serial)")
-	quiet = fs.Bool("quiet", false, "suppress per-case progress lines")
-	memo = fs.Bool("memo", false, "share a cross-query verdict cache across the shard's cases (verdicts unchanged; hit statistics in artifacts)")
-	learnFrom = fs.String("learn-from", "", "portfolio-stats JSON (e.g. a prior merge's portfolio_stats.json); reorders/prunes the racing engines")
-	trace = fs.String("trace", "", "write an NDJSON span trace of the shard to FILE (merge per-shard traces with `campaign merge -traces` or tracestat)")
-	return
+func runFlags(fs *flag.FlagSet) shardFlags {
+	return shardFlags{
+		shardIndex: fs.Int("shard-index", 0, "this shard's index in [0, shard-count)"),
+		shardCount: fs.Int("shard-count", 1, "total number of shards"),
+		workers:    fs.Int("workers", runtime.GOMAXPROCS(0), "cases run concurrently (1 = serial)"),
+		quiet:      fs.Bool("quiet", false, "suppress per-case progress lines"),
+		memo:       fs.Bool("memo", false, "share a cross-query verdict cache across the shard's cases (verdicts unchanged; hit statistics in artifacts)"),
+		diskMemo:   fs.Bool("disk-memo", false, "persist the verdict cache under ARTIFACTS/memo, shared across shards and reruns (implies -memo; verdicts unchanged)"),
+		memoDir:    fs.String("memo-dir", "", "persistent verdict-store directory (implies -memo; overrides -disk-memo's default and the plan's memo_dir)"),
+		memoMax:    fs.Int64("memo-max-bytes", 0, "size cap for the on-disk verdict store before LRU eviction (0 = 1 GiB)"),
+		learnFrom:  fs.String("learn-from", "", "portfolio-stats JSON (e.g. a prior merge's portfolio_stats.json); reorders/prunes the racing engines"),
+		trace:      fs.String("trace", "", "write an NDJSON span trace of the shard to FILE (merge per-shard traces with `campaign merge -traces` or tracestat)"),
+	}
 }
 
 func runShard(name string, args []string, retry bool) {
 	fs := flag.NewFlagSet("campaign "+name, flag.ExitOnError)
 	dir, artifacts := dirFlags(fs)
-	shardIndex, shardCount, workers, quiet, memo, learnFrom, trace := runFlags(fs)
+	f := runFlags(fs)
 	fs.Parse(args)
 	p := loadPlan(*dir)
 	dirs := artifactDirs(*dir, *artifacts)
@@ -212,11 +226,11 @@ func runShard(name string, args []string, retry bool) {
 		// Delete only this shard's failures: the subsequent Run recomputes
 		// exactly this shard's missing cases, so deleting plan-wide would
 		// orphan other shards' cases.
-		count := *shardCount
+		count := *f.shardCount
 		if count == 0 {
 			count = 1
 		}
-		idxs, err := p.ShardIndices(*shardIndex, count)
+		idxs, err := p.ShardIndices(*f.shardIndex, count)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -226,15 +240,24 @@ func runShard(name string, args []string, retry bool) {
 		}
 		fmt.Fprintf(os.Stderr, "campaign: retry: deleted %d failed artifact(s)\n", len(deleted))
 	}
-	opts := campaign.RunOptions{
-		ShardIndex: *shardIndex,
-		ShardCount: *shardCount,
-		Workers:    *workers,
-		LearnFrom:  *learnFrom,
-		Memo:       *memo,
-		Trace:      *trace,
+	// -memo-dir overrides everything; -disk-memo supplies its default
+	// location under the artifact directory unless the plan already
+	// records a shared memo_dir (campaign.Run falls back to that).
+	memoDir := *f.memoDir
+	if memoDir == "" && *f.diskMemo && p.Config.MemoDir == "" {
+		memoDir = filepath.Join(dirs[0], "memo")
 	}
-	if !*quiet {
+	opts := campaign.RunOptions{
+		ShardIndex:   *f.shardIndex,
+		ShardCount:   *f.shardCount,
+		Workers:      *f.workers,
+		LearnFrom:    *f.learnFrom,
+		Memo:         *f.memo,
+		MemoDir:      memoDir,
+		MemoMaxBytes: *f.memoMax,
+		Trace:        *f.trace,
+	}
+	if !*f.quiet {
 		opts.Log = os.Stderr
 	}
 	report, err := campaign.Run(context.Background(), p, dirs[0], opts)
@@ -242,7 +265,7 @@ func runShard(name string, args []string, retry bool) {
 		fatalf("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "campaign: shard %d/%d: %d cases, %d resumed, %d run, %d failed\n",
-		*shardIndex, *shardCount, report.ShardCases, report.Skipped, report.Ran, report.Failed)
+		*f.shardIndex, *f.shardCount, report.ShardCases, report.Skipped, report.Ran, report.Failed)
 	if report.Failed > 0 {
 		os.Exit(2)
 	}
@@ -288,7 +311,12 @@ func cmdMerge(args []string) {
 		fmt.Fprintf(os.Stderr, "campaign: per-engine win statistics written to %s\n", path)
 	}
 	if st := m.MemoStats(); st != nil {
-		fmt.Fprintf(os.Stderr, "campaign: memo: %d hits / %d misses across artifacts\n", st.Hits, st.Misses)
+		if st.DiskHits > 0 || st.Capped > 0 {
+			fmt.Fprintf(os.Stderr, "campaign: memo: %d memory hits / %d disk hits / %d misses across artifacts (%d capped)\n",
+				st.Hits, st.DiskHits, st.Misses, st.Capped)
+		} else {
+			fmt.Fprintf(os.Stderr, "campaign: memo: %d hits / %d misses across artifacts\n", st.Hits, st.Misses)
+		}
 	}
 	// A merged tracestat view over the shards' trace files — stderr,
 	// like every diagnostic, so merge stdout stays byte-identical to a

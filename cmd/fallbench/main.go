@@ -30,6 +30,11 @@
 //	-memo          share a cross-query verdict cache across every attack
 //	               and scoring miter (verdicts unchanged; hit statistics
 //	               and per-case encode/solve splits land on stderr)
+//	-memo-dir D    persist the verdict cache in D (implies -memo): reruns
+//	               and concurrent shards pointed at the same directory
+//	               answer repeated queries from disk; verdicts unchanged
+//	-memo-max-bytes N  size cap for the on-disk cache before
+//	               least-recently-used records are evicted (0 = 1 GiB)
 //	-trace F       write an NDJSON span trace of the whole suite to F
 //	               (stdout unchanged; analyze with cmd/tracestat)
 //
@@ -76,6 +81,8 @@ func main() {
 		adaptAfter = flag.Int64("adapt-after", 0, "retire an engine mid-run after it loses this many races without a win (0 = never)")
 		statsOut   = flag.String("stats-out", "", "write the aggregated per-engine win statistics to this JSON file")
 		memo       = flag.Bool("memo", false, "share a cross-query verdict cache across every attack and scoring miter (verdicts unchanged; hit statistics on stderr)")
+		memoDir    = flag.String("memo-dir", "", "persist the verdict cache in DIR, shared across runs (implies -memo; verdicts unchanged)")
+		memoMax    = flag.Int64("memo-max-bytes", 0, "size cap for -memo-dir before LRU eviction (0 = 1 GiB)")
 		tracePath  = flag.String("trace", "", "write an NDJSON span trace of the whole suite to FILE (stdout unchanged; analyze with tracestat)")
 	)
 	flag.Parse()
@@ -109,8 +116,8 @@ func main() {
 	} else if *adaptAfter > 0 || *learnFrom != "" {
 		fatalf("-adapt-after/-learn-from need a -portfolio engine list to act on")
 	}
-	if *memo {
-		cfg.Memo = sat.NewMemo(sat.DefaultMemoEntries)
+	if cfg.Memo, err = attack.NewMemoFromFlags(*memo, *memoDir, *memoMax); err != nil {
+		fatalf("%v", err)
 	}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
@@ -214,13 +221,7 @@ func main() {
 		}
 	}
 	if cfg.Memo != nil {
-		st := cfg.Memo.Stats()
-		rate := 0.0
-		if st.Total() > 0 {
-			rate = 100 * float64(st.Hits) / float64(st.Total())
-		}
-		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
-			st.Hits, st.Misses, rate, cfg.Memo.Len())
+		attack.FprintMemoSummary(os.Stderr, cfg.Memo, cfg.Memo.Stats(), cfg.Memo.Len())
 	}
 	if tracer != nil {
 		// Closed before the failure exit path (os.Exit skips defers).

@@ -23,7 +23,6 @@ import (
 	"repro/internal/keyconfirm"
 	"repro/internal/obs"
 	"repro/internal/oracle"
-	"repro/internal/sat"
 )
 
 func main() {
@@ -36,6 +35,8 @@ func main() {
 		solver     = flag.String("solver", "", "solver engine spec, e.g. seed=3,restart=geometric | kissat | bdd:max-nodes=1<<20 (empty = baseline CDCL)")
 		portfolio  = flag.String("portfolio", "", "race engines per query: an integer derives N internal variants, a list like internal,kissat,bdd races heterogeneous backends")
 		memo       = flag.Bool("memo", false, "share a cross-query verdict cache across the P/Q/D solvers (verdicts unchanged; hit statistics on stderr)")
+		memoDir    = flag.String("memo-dir", "", "persist the verdict cache in DIR, shared across runs (implies -memo; verdicts unchanged)")
+		memoMax    = flag.Int64("memo-max-bytes", 0, "size cap for -memo-dir before LRU eviction (0 = 1 GiB)")
 		tracePath  = flag.String("trace", "", "write an NDJSON span trace of the run to FILE (verdicts and stdout unchanged; analyze with tracestat)")
 	)
 	flag.Parse()
@@ -70,11 +71,13 @@ func main() {
 	if err := setup.Check(); err != nil {
 		fatalf("%v", err)
 	}
-	if *memo {
+	if m, err := attack.NewMemoFromFlags(*memo, *memoDir, *memoMax); err != nil {
+		fatalf("%v", err)
+	} else if m != nil {
 		if setup == nil {
 			setup = &attack.SolverSetup{}
 		}
-		setup.Memo = sat.NewMemo(sat.DefaultMemoEntries)
+		setup.Memo = m
 	}
 	var tracer *obs.Tracer
 	var root *obs.Span
@@ -103,7 +106,7 @@ func main() {
 	}
 	setup.FprintWinStats(os.Stderr)
 	if st := setup.MemoStats(); st != nil {
-		fmt.Fprintf(os.Stderr, "memo: %d hits / %d misses\n", st.Hits, st.Misses)
+		attack.FprintMemoSummary(os.Stderr, setup.Memo, *st, -1)
 	}
 	setup.Close()
 	if tracer != nil {

@@ -1,0 +1,66 @@
+package attack
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sat"
+)
+
+// This file is the CLI-facing glue for the two-tier verdict memo:
+// every attack command exposes the same trio of flags (-memo,
+// -memo-dir, -memo-max-bytes) and prints the same stderr summary, so
+// the flag→cache construction and the summary formatting live here
+// instead of being repeated per command.
+
+// NewMemoFromFlags builds the verdict memo the standard CLI flags
+// describe: nil when caching is off, memory-only under -memo, and
+// two-tier (memory + persistent on-disk store at dir) when -memo-dir
+// is set — a non-empty dir implies -memo. maxBytes caps the disk
+// store (<= 0 means sat.DefaultDiskMemoBytes).
+func NewMemoFromFlags(enabled bool, dir string, maxBytes int64) (*sat.Memo, error) {
+	if !enabled && dir == "" {
+		return nil, nil
+	}
+	m := sat.NewMemo(sat.DefaultMemoEntries)
+	if dir != "" {
+		d, err := sat.OpenDiskMemo(dir, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		m.AttachDisk(d)
+	}
+	return m, nil
+}
+
+// FprintMemoSummary writes the shared stderr memo summary: one line of
+// per-tier hit/miss accounting (entries < 0 hides the in-memory entry
+// count for per-run stats that don't own the cache), plus — when the
+// memo carries a disk tier — one line of on-disk store accounting.
+// Stats are passed explicitly rather than read from memo so callers
+// can print per-run counters against a shared cache.
+func FprintMemoSummary(w io.Writer, memo *sat.Memo, st sat.MemoStats, entries int) {
+	line := fmt.Sprintf("memo: %d hits / %d misses", st.Hits, st.Misses)
+	if st.DiskHits > 0 || (memo != nil && memo.Disk() != nil) {
+		line = fmt.Sprintf("memo: %d memory hits / %d disk hits / %d misses",
+			st.Hits, st.DiskHits, st.Misses)
+	}
+	if t := st.Total(); t > 0 {
+		line += fmt.Sprintf(" (%.1f%% hit rate", 100*float64(st.Hits+st.DiskHits)/float64(t))
+		if entries >= 0 {
+			line += fmt.Sprintf(", %d entries", entries)
+		}
+		line += ")"
+	}
+	if st.Capped > 0 {
+		line += fmt.Sprintf(", %d capped", st.Capped)
+	}
+	fmt.Fprintln(w, line)
+	if memo != nil {
+		if disk := memo.Disk(); disk != nil {
+			ds := disk.Stats()
+			fmt.Fprintf(w, "memo disk: %s: %d records / %d bytes (%d writes, %d evicted, %d corrupt)\n",
+				disk.Dir(), ds.Entries, ds.Bytes, ds.Writes, ds.Evictions, ds.Corrupt)
+		}
+	}
+}

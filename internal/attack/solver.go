@@ -384,11 +384,8 @@ func (t *timedEngine) solveTraced(assumptions []sat.Lit) sat.Status {
 		sp.Set("decisions", delta.Decisions)
 	}
 	if me, ok := t.inner.(*sat.MemoEngine); ok {
-		if me.LastFromCache() {
-			sp.Set("memo", "hit")
-		} else {
-			sp.Set("memo", "miss")
-		}
+		// Per-tier hit attribution: "memory", "disk", or "miss".
+		sp.Set("memo", me.LastTier().String())
 	}
 	if st == sat.Unknown && t.ctx != nil && t.ctx.Err() != nil {
 		sp.Set("cancel", t.ctx.Err().Error())

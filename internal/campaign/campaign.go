@@ -91,6 +91,13 @@ type Config struct {
 	// redistributes racing effort, never verdicts, but it is part of
 	// the plan because it changes the recorded portfolio_stats.
 	AdaptAfter int64 `json:"adapt_after,omitempty"`
+	// MemoDir, when non-empty, is the plan's default persistent
+	// verdict-store directory: every shard run attaches the on-disk memo
+	// tier there unless overridden at run time. The memo only changes
+	// timing, never verdicts, but recording the directory in the plan
+	// lets a fleet of shards share a cache without per-shard flag
+	// plumbing. omitempty keeps pre-disk-memo plan hashes unchanged.
+	MemoDir string `json:"memo_dir,omitempty"`
 	// Suites selects the reports to produce, in output order; empty
 	// means DefaultSuites.
 	Suites []string `json:"suites"`

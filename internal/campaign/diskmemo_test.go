@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDiskMemoSharedAcrossShardsAndReruns is the multi-process-sharing
+// coverage for the persistent verdict store: two shards run
+// concurrently against one memo directory (race-clean, no torn reads),
+// and a full rerun from the same directory answers from disk — with
+// byte-identical reports throughout (the cache may change timing,
+// never verdicts) and per-tier stats surviving the artifact merge.
+func TestDiskMemoSharedAcrossShardsAndReruns(t *testing.T) {
+	cfg := tinyCampaignConfig("table1", "summary")
+	memoDir := t.TempDir()
+
+	runShards := func(cfg Config, opts RunOptions) (string, *MergeResult) {
+		t.Helper()
+		plan, err := NewPlan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		const shards = 2
+		var wg sync.WaitGroup
+		errs := make([]error, shards)
+		for index := 0; index < shards; index++ {
+			wg.Add(1)
+			go func(index int) {
+				defer wg.Done()
+				o := opts
+				o.ShardIndex, o.ShardCount, o.Workers = index, shards, 2
+				_, errs[index] = Run(context.Background(), plan, dir, o)
+			}(index)
+		}
+		wg.Wait()
+		for index, err := range errs {
+			if err != nil {
+				t.Fatalf("shard %d: %v", index, err)
+			}
+		}
+		m, err := Merge(plan, []string{dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Complete() {
+			t.Fatalf("merge incomplete: missing %v", m.Missing)
+		}
+		var b strings.Builder
+		if err := m.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), m
+	}
+
+	// Reference: no memo anywhere.
+	plain, _ := runShards(cfg, RunOptions{})
+
+	// Cold: concurrent shards populate one store via the options path.
+	cold, mCold := runShards(cfg, RunOptions{MemoDir: memoDir})
+	if cold != plain {
+		t.Errorf("cold memoized report differs from memo-less report")
+	}
+	st := mCold.MemoStats()
+	if st == nil || st.Total() == 0 {
+		t.Fatalf("cold merge carries no memo stats: %+v", st)
+	}
+
+	// Warm: a fresh "rerun" resolves the store through the plan's
+	// recorded memo_dir (no run-time flag) and must hit disk.
+	warmCfg := cfg
+	warmCfg.MemoDir = memoDir
+	warm, mWarm := runShards(warmCfg, RunOptions{})
+	if warm != plain {
+		t.Errorf("warm report differs from memo-less report")
+	}
+	wst := mWarm.MemoStats()
+	if wst == nil || wst.DiskHits == 0 {
+		t.Fatalf("warm rerun recorded no disk hits in merged stats: %+v", wst)
+	}
+}
+
+// TestPlanMemoDirHashCompat: recording a memo directory in the plan
+// changes the plan hash (shards must agree on the cache location), but
+// an empty MemoDir serializes away, keeping pre-disk-memo plan hashes
+// valid.
+func TestPlanMemoDirHashCompat(t *testing.T) {
+	base := tinyCampaignConfig("summary")
+	p1, err := NewPlan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDir := base
+	withDir.MemoDir = "shared/memo"
+	p2, err := NewPlan(withDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Hash == p2.Hash {
+		t.Error("memo_dir did not change the plan hash")
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "memo_dir") {
+		t.Error("empty memo_dir serialized into the plan config")
+	}
+}

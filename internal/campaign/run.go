@@ -39,6 +39,15 @@ type RunOptions struct {
 	// additionally carry solve-time and hit/miss diagnostics, which a
 	// merge aggregates.
 	Memo bool
+	// MemoDir, when non-empty, attaches the persistent on-disk verdict
+	// store at this directory as the memo's L2 tier (implies Memo) and
+	// shares it across shards, reruns, and daemon restarts. Empty falls
+	// back to the plan's recorded Config.MemoDir.
+	MemoDir string
+	// MemoMaxBytes caps the on-disk store's size (<= 0 means
+	// sat.DefaultDiskMemoBytes); past the cap, least-recently-used
+	// records are evicted.
+	MemoMaxBytes int64
 	// Trace, when non-empty, writes an NDJSON span trace of the shard
 	// to this path (atomic temp+rename; the file appears only when the
 	// shard finishes). Per-shard trace files merge in `campaign merge
@@ -109,8 +118,19 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 			expCfg.Adapt = sat.NewLedgerLabels(sat.EngineLabels(expCfg.Engines))
 		}
 	}
-	if opts.Memo {
+	memoDir := opts.MemoDir
+	if memoDir == "" {
+		memoDir = plan.Config.MemoDir
+	}
+	if opts.Memo || memoDir != "" {
 		expCfg.Memo = sat.NewMemo(sat.DefaultMemoEntries)
+		if memoDir != "" {
+			disk, err := sat.OpenDiskMemo(memoDir, opts.MemoMaxBytes)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: memo dir: %w", err)
+			}
+			expCfg.Memo.AttachDisk(disk)
+		}
 	}
 	if opts.Trace != "" {
 		tracer, err := obs.NewFileTracer(opts.Trace)
@@ -250,6 +270,12 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 		st := expCfg.Memo.Stats()
 		fmt.Fprintf(opts.Log, "campaign: memo: %d hits / %d misses (%d entries)\n",
 			st.Hits, st.Misses, expCfg.Memo.Len())
+		if disk := expCfg.Memo.Disk(); disk != nil {
+			ds := disk.Stats()
+			fmt.Fprintf(opts.Log,
+				"campaign: memo disk: %d hits / %d misses, %d records / %d bytes (%d writes, %d evicted, %d corrupt)\n",
+				ds.Hits, ds.Misses, ds.Entries, ds.Bytes, ds.Writes, ds.Evictions, ds.Corrupt)
+		}
 	}
 	return report, ctx.Err()
 }

@@ -159,9 +159,12 @@ func TestAnalyzeAndReconcile(t *testing.T) {
 	q1.Set("memo", "miss")
 	q1.EndAfter(10 * time.Millisecond)
 	q2 := cell.Child("query", "engine", "internal")
-	q2.Set("memo", "hit")
+	q2.Set("memo", "memory")
 	q2.Set("cancel", "context canceled")
 	q2.EndAfter(2 * time.Millisecond)
+	q3 := cell.Child("query", "engine", "internal")
+	q3.Set("memo", "disk")
+	q3.EndAfter(0)
 	cell.End()
 	phase.EndAfter(20 * time.Millisecond)
 	sess := root.Child("session", "cmd", "stub", "spawns", 2, "broken", 0)
@@ -169,24 +172,25 @@ func TestAnalyzeAndReconcile(t *testing.T) {
 	root.End()
 
 	rep := Analyze([]*TraceFile{{Path: "mem", Spans: sink.spans}}, 5)
-	if rep.Spans != len(sink.spans) || rep.Queries != 2 {
+	if rep.Spans != len(sink.spans) || rep.Queries != 3 {
 		t.Fatalf("spans %d queries %d", rep.Spans, rep.Queries)
 	}
 	want := int64(12 * time.Millisecond)
 	if rep.QueryNS != want {
 		t.Errorf("QueryNS %d, want %d", rep.QueryNS, want)
 	}
-	if rep.MemoHits != 1 || rep.MemoMiss != 1 || rep.Cancelled != 1 {
-		t.Errorf("memo/cancel: hits=%d miss=%d cancelled=%d", rep.MemoHits, rep.MemoMiss, rep.Cancelled)
+	if rep.MemoHits != 1 || rep.MemoDisk != 1 || rep.MemoMiss != 1 || rep.Cancelled != 1 {
+		t.Errorf("memo/cancel: hits=%d disk=%d miss=%d cancelled=%d",
+			rep.MemoHits, rep.MemoDisk, rep.MemoMiss, rep.Cancelled)
 	}
 	// The query family is the parent span's name.
-	if len(rep.Families) != 1 || rep.Families[0].Name != "fall.cell" || rep.Families[0].Count != 2 {
+	if len(rep.Families) != 1 || rep.Families[0].Name != "fall.cell" || rep.Families[0].Count != 3 {
 		t.Errorf("families: %+v", rep.Families)
 	}
 	if len(rep.Sessions) != 1 || rep.Sessions[0].Spawns != 2 {
 		t.Errorf("sessions: %+v", rep.Sessions)
 	}
-	if len(rep.Slowest) != 2 || rep.Slowest[0].DurNS < rep.Slowest[1].DurNS {
+	if len(rep.Slowest) != 3 || rep.Slowest[0].DurNS < rep.Slowest[1].DurNS {
 		t.Errorf("slowest ordering: %+v", rep.Slowest)
 	}
 	if cov := rep.Reconcile(want); cov != 1 {

@@ -113,7 +113,8 @@ type Report struct {
 	Engines   []BucketStat
 	Families  []BucketStat
 	Slowest   []QueryStat
-	MemoHits  int64
+	MemoHits  int64 // in-memory (L1) verdict-cache hits
+	MemoDisk  int64 // on-disk (L2) verdict-cache hits
 	MemoMiss  int64
 	Cancelled int64
 	Sessions  []SessionStat
@@ -207,8 +208,10 @@ func Analyze(files []*TraceFile, topN int) *Report {
 				engines.add(engine, sp.DurNS)
 				families.add(family, sp.DurNS)
 				switch attrString(sp.Attrs, "memo") {
-				case "hit":
+				case "hit", "memory": // "hit" is the pre-disk-tier spelling
 					rep.MemoHits++
+				case "disk":
+					rep.MemoDisk++
 				case "miss":
 					rep.MemoMiss++
 				}
@@ -267,9 +270,9 @@ func (r *Report) Render(w io.Writer) {
 	renderBuckets(w, "phases", r.Phases)
 	renderBuckets(w, "engines (query spans)", r.Engines)
 	renderBuckets(w, "query families", r.Families)
-	if r.MemoHits+r.MemoMiss > 0 {
-		fmt.Fprintf(w, "memo: %d hits / %d misses (%.1f%% hit rate)\n",
-			r.MemoHits, r.MemoMiss, 100*float64(r.MemoHits)/float64(r.MemoHits+r.MemoMiss))
+	if total := r.MemoHits + r.MemoDisk + r.MemoMiss; total > 0 {
+		fmt.Fprintf(w, "memo: %d memory hits / %d disk hits / %d misses (%.1f%% hit rate)\n",
+			r.MemoHits, r.MemoDisk, r.MemoMiss, 100*float64(r.MemoHits+r.MemoDisk)/float64(total))
 	}
 	if r.Cancelled > 0 {
 		fmt.Fprintf(w, "cancelled queries: %d\n", r.Cancelled)

@@ -18,33 +18,84 @@ import (
 // engine's whole query history, so the inner engine reaches the same
 // incremental state (learnt clauses included) it would have reached
 // without the cache — verdicts AND models match the uncached run.
+//
+// The memo is two-tiered: the in-memory map (L1) answers within a
+// process, and an optional content-addressed on-disk store (L2,
+// DiskMemo in diskmemo.go) shares verdicts across processes — campaign
+// shards, reruns, daemon restarts. Lookups fall through memory → disk
+// → inner engine; decided misses write through to both tiers, and a
+// disk hit is promoted into memory.
 
-// MemoStats is a hit/miss snapshot of memo-cache accounting — the
-// shape serialized into harness outcomes, campaign merges and the
-// daemon's /metrics.
+// MemoTier identifies which tier answered a query (per-query hit
+// attribution for tracing and counters).
+type MemoTier int
+
+const (
+	// TierMiss: no tier had the verdict; the inner engine solved it.
+	TierMiss MemoTier = iota
+	// TierMemory: answered by the in-memory map (L1).
+	TierMemory
+	// TierDisk: answered by the on-disk store (L2).
+	TierDisk
+)
+
+// String renders the tier as the trace-span attribution value.
+func (t MemoTier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
+// MemoStats is a per-tier hit/miss snapshot of memo-cache accounting —
+// the shape serialized into harness outcomes, campaign merges and the
+// daemon's /metrics. Hits counts in-memory (L1) answers, DiskHits
+// on-disk (L2) answers, Misses queries the inner engine solved. Capped
+// counts decided results that were recomputed but could not be stored
+// in memory because the entry cap was reached (they still reach the
+// disk tier when one is attached). The new fields are omitempty so
+// disk-less, uncapped runs serialize byte-identically to before.
 type MemoStats struct {
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	DiskHits int64 `json:"disk_hits,omitempty"`
+	Capped   int64 `json:"capped,omitempty"`
 }
 
 // Add returns the entrywise sum (campaign merge aggregation).
 func (s MemoStats) Add(o MemoStats) MemoStats {
-	return MemoStats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses}
+	return MemoStats{
+		Hits:     s.Hits + o.Hits,
+		Misses:   s.Misses + o.Misses,
+		DiskHits: s.DiskHits + o.DiskHits,
+		Capped:   s.Capped + o.Capped,
+	}
 }
 
-// Total returns the number of accounted queries.
-func (s MemoStats) Total() int64 { return s.Hits + s.Misses }
+// Total returns the number of accounted queries (every tier's hits
+// plus the misses; Capped re-counts a subset of Misses and is
+// excluded).
+func (s MemoStats) Total() int64 { return s.Hits + s.DiskHits + s.Misses }
 
-// MemoCounters accumulates hit/miss counts for one accounting scope (a
-// SolverSetup, i.e. one attack run) against a possibly shared Memo.
-// Safe for concurrent use.
+// MemoCounters accumulates per-tier hit/miss counts for one accounting
+// scope (a SolverSetup, i.e. one attack run) against a possibly shared
+// Memo. Safe for concurrent use.
 type MemoCounters struct {
-	hits, misses atomic.Int64
+	hits, diskHits, misses, capped atomic.Int64
 }
 
 // Snapshot returns the current counts.
 func (c *MemoCounters) Snapshot() MemoStats {
-	return MemoStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	return MemoStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		DiskHits: c.diskHits.Load(),
+		Capped:   c.capped.Load(),
+	}
 }
 
 // DefaultMemoEntries bounds an unbounded-cap Memo: enough for every
@@ -58,28 +109,62 @@ type memoKey struct {
 	assume string
 }
 
+// memoEntry is one recorded verdict. Satisfying models are packed as
+// bitsets — one bit per variable instead of one byte — because a
+// DefaultMemoEntries-sized cache of FALL-scale models is memory-bound
+// on exactly this array; the same packing is the on-disk record's
+// model encoding, so disk records load without repacking.
 type memoEntry struct {
 	st    Status
-	model []bool // nil unless st == Sat; indexed by variable
+	nVars int      // model length (variables at solve time)
+	bits  []uint64 // nil unless st == Sat; bit v = model value of var v
 }
 
-// Memo is an in-memory verdict cache keyed by (prefix hash, delta
+// packModel builds the bitset model of an engine's last satisfying
+// assignment over vars [0, n).
+func packModel(e Engine, n int) []uint64 {
+	bits := make([]uint64, (n+63)/64)
+	for v := 0; v < n; v++ {
+		if e.Value(v) {
+			bits[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+	return bits
+}
+
+// value returns variable v's recorded model value (false outside the
+// model, matching Engine.Value semantics for unknown variables).
+func (e *memoEntry) value(v int) bool {
+	if e.st != Sat || v < 0 || v >= e.nVars {
+		return false
+	}
+	return e.bits[v>>6]>>(uint(v)&63)&1 == 1
+}
+
+// Memo is the two-tier verdict cache keyed by (prefix hash, delta
 // hash, assumptions). It is safe for concurrent use and is typically
 // shared across every engine of a run — or, in the daemon, across
 // jobs — so identical sub-queries are solved once. Only decided
 // verdicts are stored (Unknown is always recomputed); the first
-// stored entry for a key wins, keeping replays deterministic.
+// stored entry for a key wins, keeping replays deterministic. An
+// attached DiskMemo (AttachDisk) extends the cache across processes:
+// memory misses fall through to disk, disk hits are promoted, and
+// fresh results write through to both tiers.
 type Memo struct {
-	mu      sync.Mutex
-	max     int
-	entries map[memoKey]*memoEntry
-	hits    int64
-	misses  int64
+	mu       sync.Mutex
+	max      int
+	entries  map[memoKey]*memoEntry
+	hits     int64
+	diskHits int64
+	misses   int64
+	capped   int64
+	disk     *DiskMemo
 }
 
-// NewMemo returns a memo holding at most max entries (max <= 0 means
-// DefaultMemoEntries). Beyond the cap, new results are recomputed but
-// not stored.
+// NewMemo returns a memo holding at most max in-memory entries (max <=
+// 0 means DefaultMemoEntries). Beyond the cap, new results are
+// recomputed but not stored in memory (counted in MemoStats.Capped;
+// an attached disk tier still records them).
 func NewMemo(max int) *Memo {
 	if max <= 0 {
 		max = DefaultMemoEntries
@@ -87,42 +172,92 @@ func NewMemo(max int) *Memo {
 	return &Memo{max: max, entries: make(map[memoKey]*memoEntry)}
 }
 
-// Stats returns the memo's global hit/miss counts.
+// AttachDisk adds d as the memo's on-disk L2 tier (nil detaches).
+// Attach before solving starts; the tier choice is not synchronized
+// against in-flight lookups.
+func (m *Memo) AttachDisk(d *DiskMemo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.disk = d
+}
+
+// Disk returns the attached on-disk tier, nil when memory-only.
+func (m *Memo) Disk() *DiskMemo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.disk
+}
+
+// Stats returns the memo's global per-tier hit/miss counts.
 func (m *Memo) Stats() MemoStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return MemoStats{Hits: m.hits, Misses: m.misses}
+	return MemoStats{Hits: m.hits, Misses: m.misses, DiskHits: m.diskHits, Capped: m.capped}
 }
 
-// Len returns the number of stored entries.
+// Len returns the number of in-memory entries.
 func (m *Memo) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.entries)
 }
 
-func (m *Memo) lookup(key memoKey) (*memoEntry, bool) {
+// lookup resolves key through the tiers: memory, then disk (promoting
+// a disk hit into memory, cap permitting). The disk read happens
+// outside the memory lock so concurrent engines never serialize on
+// I/O.
+func (m *Memo) lookup(key memoKey) (*memoEntry, MemoTier) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[key]
-	if ok {
+	if e, ok := m.entries[key]; ok {
 		m.hits++
-	} else {
-		m.misses++
+		m.mu.Unlock()
+		return e, TierMemory
 	}
-	return e, ok
+	d := m.disk
+	m.mu.Unlock()
+	if d != nil {
+		if e, ok := d.Get(key); ok {
+			m.mu.Lock()
+			m.diskHits++
+			if _, exists := m.entries[key]; !exists && len(m.entries) < m.max {
+				m.entries[key] = e
+			}
+			m.mu.Unlock()
+			return e, TierDisk
+		}
+	}
+	m.mu.Lock()
+	m.misses++
+	m.mu.Unlock()
+	return nil, TierMiss
 }
 
-func (m *Memo) store(key memoKey, st Status, model []bool) {
-	if st == Unknown {
-		return
+// store records a decided verdict in both tiers, returning whether the
+// in-memory cap dropped it (Capped accounting). The disk write-through
+// happens even when memory is capped — the disk tier has its own
+// byte-bounded GC — and outside the memory lock.
+func (m *Memo) store(key memoKey, e *memoEntry) (capped bool) {
+	if e.st == Unknown {
+		return false
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, exists := m.entries[key]; exists || len(m.entries) >= m.max {
-		return
+	fresh := false
+	if _, exists := m.entries[key]; !exists {
+		if len(m.entries) < m.max {
+			m.entries[key] = e
+			fresh = true
+		} else {
+			m.capped++
+			capped = true
+			fresh = true
+		}
 	}
-	m.entries[key] = &memoEntry{st: st, model: model}
+	d := m.disk
+	m.mu.Unlock()
+	if d != nil && fresh {
+		d.Put(key, e)
+	}
+	return capped
 }
 
 func assumeKey(as []Lit) string {
@@ -163,6 +298,7 @@ type MemoEngine struct {
 	synced      int // queries already replayed into inner
 	queries     []memoQuery
 	cached      *memoEntry // model source when the last solve hit
+	lastTier    MemoTier   // which tier answered the last solve
 }
 
 var (
@@ -185,6 +321,11 @@ func (m *MemoEngine) Inner() Engine { return m.inner }
 // per-query hit attribution for tracing (the counters only give
 // totals).
 func (m *MemoEngine) LastFromCache() bool { return m.cached != nil }
+
+// LastTier returns which tier answered the most recent
+// Solve/SolveAssuming: TierMemory, TierDisk, or TierMiss (solved by
+// the inner engine).
+func (m *MemoEngine) LastTier() MemoTier { return m.lastTier }
 
 // LoadFrozen adopts a frozen prefix (O(1)); the engine must be fresh.
 func (m *MemoEngine) LoadFrozen(f *Frozen) {
@@ -225,9 +366,9 @@ func (m *MemoEngine) Stats() Stats {
 func (m *MemoEngine) Solve() Status { return m.SolveAssuming(nil) }
 
 // SolveAssuming answers from the memo when the (prefix, delta,
-// assumptions) key is recorded; otherwise it solves on the inner
-// engine — replaying history first for state parity — and records the
-// verdict.
+// assumptions) key is recorded in either tier; otherwise it solves on
+// the inner engine — replaying history first for state parity — and
+// records the verdict in both tiers.
 func (m *MemoEngine) SolveAssuming(assumptions []Lit) Status {
 	m.stats.SolveCalls++
 	key := memoKey{
@@ -236,12 +377,17 @@ func (m *MemoEngine) SolveAssuming(assumptions []Lit) Status {
 		assume: assumeKey(assumptions),
 	}
 	rec := memoQuery{opsAt: len(m.stream.ops), assumptions: append([]Lit(nil), assumptions...)}
-	if e, ok := m.memo.lookup(key); ok {
+	if e, tier := m.memo.lookup(key); tier != TierMiss {
 		if m.ctr != nil {
-			m.ctr.hits.Add(1)
+			if tier == TierDisk {
+				m.ctr.diskHits.Add(1)
+			} else {
+				m.ctr.hits.Add(1)
+			}
 		}
 		m.queries = append(m.queries, rec)
 		m.cached = e
+		m.lastTier = tier
 		return e.st
 	}
 	if m.ctr != nil {
@@ -251,15 +397,16 @@ func (m *MemoEngine) SolveAssuming(assumptions []Lit) Status {
 	m.queries = append(m.queries, rec)
 	m.synced = len(m.queries) // the current query ran on inner; never replay it
 	m.cached = nil
+	m.lastTier = TierMiss
 	if st != Unknown {
-		var model []bool
+		e := &memoEntry{st: st}
 		if st == Sat {
-			model = make([]bool, m.stream.NumVars())
-			for v := range model {
-				model[v] = m.inner.Value(v)
-			}
+			e.nVars = m.stream.NumVars()
+			e.bits = packModel(m.inner, e.nVars)
 		}
-		m.memo.store(key, st, model)
+		if m.memo.store(key, e) && m.ctr != nil {
+			m.ctr.capped.Add(1)
+		}
 	}
 	return st
 }
@@ -297,10 +444,7 @@ func (m *MemoEngine) replayOpsTo(opsAt int) {
 // (the recorded model when the last solve was answered from the memo).
 func (m *MemoEngine) Value(v int) bool {
 	if m.cached != nil {
-		if m.cached.st == Sat && v >= 0 && v < len(m.cached.model) {
-			return m.cached.model[v]
-		}
-		return false
+		return m.cached.value(v)
 	}
 	if !m.primed {
 		return false

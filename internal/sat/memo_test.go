@@ -111,11 +111,13 @@ func TestMemoEngineStateParity(t *testing.T) {
 }
 
 // TestMemoCap: beyond the entry cap, results are recomputed but not
-// stored.
+// stored in memory — and every such drop is accounted in Capped (both
+// the memo's global stats and the per-run counters), never silent.
 func TestMemoCap(t *testing.T) {
 	memo := sat.NewMemo(1)
+	var ctr sat.MemoCounters
 	mk := func() *sat.MemoEngine {
-		e := sat.NewMemoEngine(memo, nil, sat.New())
+		e := sat.NewMemoEngine(memo, &ctr, sat.New())
 		a := sat.PosLit(e.NewVar())
 		e.AddClause(a)
 		return e
@@ -125,16 +127,29 @@ func TestMemoCap(t *testing.T) {
 	if memo.Len() != 1 {
 		t.Fatalf("entries %d, want 1", memo.Len())
 	}
+	if got := memo.Stats().Capped; got != 0 {
+		t.Fatalf("capped %d before the cap was hit", got)
+	}
 	e2 := mk()
 	e2.AddClause(sat.PosLit(e2.NewVar())) // different delta -> different key
 	e2.Solve()
 	if memo.Len() != 1 {
 		t.Fatalf("cap exceeded: %d entries", memo.Len())
 	}
-	// The uncached query still answers correctly.
+	if got := memo.Stats().Capped; got != 1 {
+		t.Fatalf("capped %d after first over-cap store, want 1", got)
+	}
+	// The uncached query still answers correctly — and, having been
+	// dropped rather than stored, is recomputed and dropped again.
 	e3 := mk()
 	e3.AddClause(sat.PosLit(e3.NewVar()))
 	if st := e3.Solve(); st != sat.Sat {
 		t.Fatalf("over-cap solve: %v, want Sat", st)
+	}
+	if got := memo.Stats(); got.Capped != 2 || got.Misses != 3 {
+		t.Fatalf("global stats %+v, want 2 capped / 3 misses", got)
+	}
+	if got := ctr.Snapshot(); got.Capped != 2 {
+		t.Fatalf("per-run counters %+v, want 2 capped", got)
 	}
 }

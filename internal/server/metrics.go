@@ -28,10 +28,18 @@ type Metrics struct {
 	// Portfolio is the aggregated per-engine racing ledger.
 	Portfolio []sat.ConfigStats `json:"portfolio,omitempty"`
 	// MemoHits/MemoMisses/MemoEntries report the daemon-global verdict
-	// cache when the daemon runs with one (Config.Memo).
+	// cache when the daemon runs with one (Config.Memo). MemoHits counts
+	// in-memory (L1) answers; MemoDiskHits on-disk (L2) answers;
+	// MemoCapped decided results dropped by the in-memory entry cap.
 	MemoHits    int64 `json:"memo_hits,omitempty"`
 	MemoMisses  int64 `json:"memo_misses,omitempty"`
 	MemoEntries int   `json:"memo_entries,omitempty"`
+	MemoCapped  int64 `json:"memo_capped,omitempty"`
+	// MemoDisk* report the persistent on-disk tier when one is attached
+	// (-disk-memo / -memo-dir): the cache that survives daemon restarts.
+	MemoDiskHits    int64 `json:"memo_disk_hits,omitempty"`
+	MemoDiskEntries int64 `json:"memo_disk_entries,omitempty"`
+	MemoDiskBytes   int64 `json:"memo_disk_bytes,omitempty"`
 }
 
 // TenantMetrics is one tenant's live load.
@@ -62,6 +70,11 @@ func (s *Server) Snapshot() Metrics {
 		// alongside them (a job cannot finalize mid-snapshot).
 		st := s.cfg.Memo.Stats()
 		m.MemoHits, m.MemoMisses, m.MemoEntries = st.Hits, st.Misses, s.cfg.Memo.Len()
+		m.MemoDiskHits, m.MemoCapped = st.DiskHits, st.Capped
+		if disk := s.cfg.Memo.Disk(); disk != nil {
+			ds := disk.Stats()
+			m.MemoDiskEntries, m.MemoDiskBytes = ds.Entries, ds.Bytes
+		}
 	}
 	s.mu.Unlock()
 	if len(queued)+len(running) > 0 {
@@ -171,6 +184,29 @@ func (s *Server) buildRegistry() {
 		r.CollectGauge("attackd_memo_entries", "Daemon-global verdict-cache resident entries.", func() []obs.Sample {
 			return one(float64(s.cfg.Memo.Len()))
 		})
+		r.CollectCounter("attackd_memo_capped_total", "Decided results dropped by the in-memory verdict-cache entry cap.", func() []obs.Sample {
+			return one(float64(s.cfg.Memo.Stats().Capped))
+		})
+		if disk := s.cfg.Memo.Disk(); disk != nil {
+			r.CollectCounter("attackd_memo_disk_hits_total", "Persistent on-disk verdict-store hits.", func() []obs.Sample {
+				return one(float64(disk.Stats().Hits))
+			})
+			r.CollectCounter("attackd_memo_disk_writes_total", "Verdict records persisted to the on-disk store.", func() []obs.Sample {
+				return one(float64(disk.Stats().Writes))
+			})
+			r.CollectCounter("attackd_memo_disk_evictions_total", "On-disk verdict records evicted by the size-cap compaction.", func() []obs.Sample {
+				return one(float64(disk.Stats().Evictions))
+			})
+			r.CollectCounter("attackd_memo_disk_corrupt_total", "On-disk verdict records rejected by validation and deleted.", func() []obs.Sample {
+				return one(float64(disk.Stats().Corrupt))
+			})
+			r.CollectGauge("attackd_memo_disk_entries", "Resident on-disk verdict records.", func() []obs.Sample {
+				return one(float64(disk.Stats().Entries))
+			})
+			r.CollectGauge("attackd_memo_disk_bytes", "Resident on-disk verdict-store size in bytes.", func() []obs.Sample {
+				return one(float64(disk.Stats().Bytes))
+			})
+		}
 	}
 }
 
