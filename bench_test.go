@@ -10,10 +10,15 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/campaign"
 	"repro/internal/cnf"
 	"repro/internal/exp"
 	"repro/internal/fall"
@@ -23,6 +28,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/sat"
 	"repro/internal/sat/bddengine"
+	"repro/internal/sat/testsolver"
 	"repro/internal/satattack"
 	"repro/internal/testcirc"
 )
@@ -493,6 +499,92 @@ func BenchmarkSATAttackIterations(b *testing.B) {
 			b.Fatal("no iterations performed")
 		}
 	}
+}
+
+// --- Fleet scheduling benchmarks (campaign work stealing) ---
+
+// benchFleetPlan is the shared heterogeneous-fleet fixture: a small
+// summary campaign whose every solver query runs through the process
+// stub, so a wrapper script that sleeps before answering turns one
+// worker into a slow machine without touching any verdict.
+func benchFleetPlan(b *testing.B) (*campaign.Plan, string, string) {
+	b.Helper()
+	if runtime.GOOS == "windows" {
+		b.Skip("slow-worker wrapper is a shell script")
+	}
+	stub := testsolver.Build(b)
+	slow := filepath.Join(b.TempDir(), "slowstub")
+	// 350ms per query makes the slow worker ~9x slower per case than
+	// the plain stub — slow enough that the fast worker drains every
+	// unclaimed case before the slow worker's first claim completes,
+	// which is the steady state of a real heterogeneous fleet.
+	body := "#!/bin/sh\nexec " + stub + " -sleep=350ms \"$@\"\n"
+	if err := os.WriteFile(slow, []byte(body), 0o755); err != nil {
+		b.Fatal(err)
+	}
+	cfg := campaign.Config{
+		Specs:      genbench.Scaled(genbench.TableI, 64, 6)[:2],
+		Seed:       2019,
+		SATIterCap: 40,
+		Solver:     "process:cmd=" + stub,
+		Suites:     []string{"summary"},
+	}
+	plan, err := campaign.NewPlan(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan, stub, slow
+}
+
+// benchFleet runs a two-worker fleet (one ~8x slower via the sleeping
+// stub) over the fixture plan and returns once both workers exit; the
+// measured time is the fleet makespan. run is invoked once per worker
+// with that worker's options.
+func benchFleet(b *testing.B, plan *campaign.Plan, dir string, opts [2]campaign.RunOptions) {
+	b.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(opts))
+	for w := range opts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, errs[w] = campaign.Run(context.Background(), plan, dir, opts[w])
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			b.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+// BenchmarkFleetMakespan compares the two fleet schedulers on a
+// heterogeneous two-worker fleet: static index-modulo sharding pins
+// half the plan to the slow machine, so the fleet waits on it; claim-
+// file work stealing lets the fast machine drain the shared directory
+// while the slow one contributes what it can. The modulo/steal
+// ns_per_op ratio is the scheduling win (BENCH_campaign.json).
+func BenchmarkFleetMakespan(b *testing.B) {
+	plan, stub, slow := benchFleetPlan(b)
+	slowSpec := "process:cmd=" + slow
+	fastSpec := "process:cmd=" + stub
+	b.Run("modulo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchFleet(b, plan, b.TempDir(), [2]campaign.RunOptions{
+				{ShardIndex: 0, ShardCount: 2, Workers: 1, SolverOverride: slowSpec},
+				{ShardIndex: 1, ShardCount: 2, Workers: 1, SolverOverride: fastSpec},
+			})
+		}
+	})
+	b.Run("steal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchFleet(b, plan, b.TempDir(), [2]campaign.RunOptions{
+				{Steal: true, Workers: 1, Owner: "slow", Lease: time.Minute, SolverOverride: slowSpec},
+				{Steal: true, Workers: 1, Owner: "fast", Lease: time.Minute, SolverOverride: fastSpec},
+			})
+		}
+	})
 }
 
 // benchMemoFrozen builds the frozen prefix the memo benchmarks query:

@@ -14,6 +14,10 @@
 // jobs get -drain to finish, stragglers are cancelled mid-solve and go
 // back to the queue for the next daemon. Backpressure is explicit:
 // a full queue or an over-rate tenant gets 429 + Retry-After.
+// Several daemons can share one -dir with -claim-lease: each job is
+// guarded by a claim file (the campaign package's O_EXCL + mtime-lease
+// discipline), peers adopt each other's finished results from disk,
+// and a killed daemon's jobs are re-claimed after one lease.
 //
 // Observability: structured logs on stderr (-log-format text|json, one
 // line per job transition and per API request), Prometheus text
@@ -48,24 +52,25 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "HTTP listen address")
-		dir        = flag.String("dir", "attackd-jobs", "job store directory (jobs survive restarts)")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "job worker-pool size")
-		queueDepth = flag.Int("queue", 256, "bounded job-queue depth; submissions beyond it get 429")
-		tenantConc = flag.Int("tenant-concurrency", 0, "max concurrently running jobs per tenant (X-API-Key header; 0 = unlimited)")
-		tenantRate = flag.Float64("tenant-rate", 0, "per-tenant submission rate limit in jobs/second (0 = unlimited)")
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		dir         = flag.String("dir", "attackd-jobs", "job store directory (jobs survive restarts)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "job worker-pool size")
+		queueDepth  = flag.Int("queue", 256, "bounded job-queue depth; submissions beyond it get 429")
+		tenantConc  = flag.Int("tenant-concurrency", 0, "max concurrently running jobs per tenant (X-API-Key header; 0 = unlimited)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant submission rate limit in jobs/second (0 = unlimited)")
 		tenantBurst = flag.Int("tenant-burst", 10, "per-tenant submission burst size")
-		jobWorkers = flag.Int("job-workers", runtime.GOMAXPROCS(0), "intra-attack worker cap per job")
-		jobTimeout = flag.Duration("job-timeout", 0, "time budget for jobs that set none (0 = unbounded)")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace: in-flight jobs get this long to finish before being cancelled back to the queue")
-		quiet      = flag.Bool("quiet", false, "suppress per-job and per-request log lines")
-		memo       = flag.Bool("memo", false, "share a daemon-global cross-query verdict cache across all jobs (verdicts unchanged; hit counters in /metrics)")
-		diskMemo   = flag.Bool("disk-memo", false, "persist the verdict cache under DIR/memo so it survives restarts alongside the job store (implies -memo)")
-		memoDir    = flag.String("memo-dir", "", "persistent verdict-store directory (implies -memo; overrides -disk-memo's default location)")
-		memoMax    = flag.Int64("memo-max-bytes", 0, "size cap for the on-disk verdict store before LRU eviction (0 = 1 GiB)")
-		logFormat  = flag.String("log-format", "text", "structured log format on stderr: text | json")
-		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
-		traceSpans = flag.Int("trace-spans", 2048, "per-job span-trace ring capacity served at GET /jobs/{id}/trace (0 = disable per-job tracing)")
+		jobWorkers  = flag.Int("job-workers", runtime.GOMAXPROCS(0), "intra-attack worker cap per job")
+		jobTimeout  = flag.Duration("job-timeout", 0, "time budget for jobs that set none (0 = unbounded)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace: in-flight jobs get this long to finish before being cancelled back to the queue")
+		quiet       = flag.Bool("quiet", false, "suppress per-job and per-request log lines")
+		memo        = flag.Bool("memo", false, "share a daemon-global cross-query verdict cache across all jobs (verdicts unchanged; hit counters in /metrics)")
+		diskMemo    = flag.Bool("disk-memo", false, "persist the verdict cache under DIR/memo so it survives restarts alongside the job store (implies -memo)")
+		memoDir     = flag.String("memo-dir", "", "persistent verdict-store directory (implies -memo; overrides -disk-memo's default location)")
+		memoMax     = flag.Int64("memo-max-bytes", 0, "size cap for the on-disk verdict store before LRU eviction (0 = 1 GiB)")
+		logFormat   = flag.String("log-format", "text", "structured log format on stderr: text | json")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		traceSpans  = flag.Int("trace-spans", 2048, "per-job span-trace ring capacity served at GET /jobs/{id}/trace (0 = disable per-job tracing)")
+		claimLease  = flag.Duration("claim-lease", 0, "coordinate several daemons sharing one -dir via per-job claim files with this staleness lease: peers skip claimed jobs and adopt each other's finished results; a dead daemon's claims expire and its jobs are taken over (0 = single-daemon mode)")
 	)
 	flag.Parse()
 
@@ -79,6 +84,7 @@ func main() {
 		JobWorkers:        *jobWorkers,
 		JobTimeout:        *jobTimeout,
 		TraceSpans:        *traceSpans,
+		ClaimLease:        *claimLease,
 	}
 	if !*quiet {
 		switch *logFormat {

@@ -5,23 +5,38 @@
 //
 //	campaign plan   -dir camp -scale small -suites table1,summary
 //	campaign run    -dir camp -shard-index 0 -shard-count 4   # per machine
+//	campaign run    -dir camp -steal -budget 25m              # fleet worker
 //	campaign status -dir camp
 //	campaign retry  -dir camp                                 # recompute failures
 //	campaign merge  -dir camp                                 # render reports
+//	campaign merge  -dir camp -rescore                        # replay verdict scoring
 //
 // Shards partition the plan's cases disjointly and exhaustively for any
 // shard count, each shard writes artifacts atomically, and re-running a
 // shard (after a crash or kill) skips every case whose artifact already
-// exists. retry deletes failed artifacts and recomputes exactly those
-// cases. merge renders output byte-identical to a monolithic
-// cmd/fallbench run over the same measurements, and — when the plan
-// raced solver engines — prints the aggregated per-engine win
-// statistics on stderr and persists them as DIR/portfolio_stats.json,
+// exists. With -steal a worker ignores index-modulo and instead claims
+// unowned cases one at a time via O_EXCL claim files in the shared
+// artifact directory, so any number of heterogeneous workers —
+// including ones joining late or dying mid-case — drain the plan
+// cooperatively (a dead worker's claim expires by mtime lease and is
+// re-stolen). -budget stops a worker from starting new cases once its
+// wall clock is spent (in-flight cases finish; exit 4 signals CI to
+// resume later), and -times-from reuses a prior run's measured per-case
+// wall times as the dispatch/steal order, longest first. retry deletes
+// failed artifacts and recomputes exactly those cases. merge renders
+// output byte-identical to a monolithic cmd/fallbench run over the same
+// measurements — regardless of how the fleet split the work — and —
+// when the plan raced solver engines — prints the aggregated per-engine
+// win statistics on stderr and persists them as DIR/portfolio_stats.json,
 // which a later `campaign run -learn-from` uses to seed its portfolio.
+// merge -rescore recomputes each artifact's Solved/Equivalent verdicts
+// from its persisted key shortlist (planted-key membership, then the
+// equivalence miter) and rewrites changed artifacts — no attack re-runs.
 //
 // Exit codes: 0 success; 1 hard error (stderr explains); 2 completed
 // with failed cases; 3 (status/merge -allow-partial) campaign
-// incomplete.
+// incomplete; 4 (run -budget) budget exhausted with cases remaining —
+// re-run to resume.
 package main
 
 import (
@@ -190,10 +205,12 @@ func cmdPlan(args []string) {
 
 // shardFlags collects the flags shared by run and retry.
 type shardFlags struct {
-	shardIndex, shardCount, workers *int
-	quiet, memo, diskMemo           *bool
-	learnFrom, memoDir, trace       *string
-	memoMax                         *int64
+	shardIndex, shardCount, workers  *int
+	quiet, memo, diskMemo, steal     *bool
+	learnFrom, memoDir, trace, owner *string
+	timesFrom, solverOver            *string
+	memoMax                          *int64
+	lease, budget                    *time.Duration
 }
 
 // runFlags declares the flags shared by run and retry on fs.
@@ -203,6 +220,12 @@ func runFlags(fs *flag.FlagSet) shardFlags {
 		shardCount: fs.Int("shard-count", 1, "total number of shards"),
 		workers:    fs.Int("workers", runtime.GOMAXPROCS(0), "cases run concurrently (1 = serial)"),
 		quiet:      fs.Bool("quiet", false, "suppress per-case progress lines"),
+		steal:      fs.Bool("steal", false, "claim-file work stealing over the shared artifact dir instead of index-modulo sharding (run any number of -steal workers against one dir)"),
+		owner:      fs.String("owner", "", "worker identity for claim files and status lines (default host-pid)"),
+		lease:      fs.Duration("lease", 0, "claim staleness horizon: an unheartbeated claim older than this is re-stolen (0 = 2m)"),
+		budget:     fs.Duration("budget", 0, "wall-clock budget: stop starting/claiming new cases after this long, finish in-flight ones, exit 4 if cases remain (0 = none)"),
+		timesFrom:  fs.String("times-from", "", "artifact directories of prior runs, comma-separated; their measured per-case wall times set the dispatch/steal order, longest first"),
+		solverOver: fs.String("solver-override", "", "replace the plan's solver engine spec for this worker only (heterogeneous fleets; must be verdict-equivalent to the plan's engine)"),
 		memo:       fs.Bool("memo", false, "share a cross-query verdict cache across the shard's cases (verdicts unchanged; hit statistics in artifacts)"),
 		diskMemo:   fs.Bool("disk-memo", false, "persist the verdict cache under ARTIFACTS/memo, shared across shards and reruns (implies -memo; verdicts unchanged)"),
 		memoDir:    fs.String("memo-dir", "", "persistent verdict-store directory (implies -memo; overrides -disk-memo's default and the plan's memo_dir)"),
@@ -223,16 +246,21 @@ func runShard(name string, args []string, retry bool) {
 		fatalf("%s writes to exactly one artifact directory, got %d", name, len(dirs))
 	}
 	if retry {
-		// Delete only this shard's failures: the subsequent Run recomputes
-		// exactly this shard's missing cases, so deleting plan-wide would
-		// orphan other shards' cases.
-		count := *f.shardCount
-		if count == 0 {
-			count = 1
-		}
-		idxs, err := p.ShardIndices(*f.shardIndex, count)
-		if err != nil {
-			fatalf("%v", err)
+		// Delete only the failures this run will recompute: this shard's
+		// under index-modulo (deleting plan-wide would orphan other
+		// shards' cases), the whole plan's under stealing (every worker
+		// draws from the whole plan, so nothing is orphaned).
+		var idxs []int
+		if !*f.steal {
+			count := *f.shardCount
+			if count == 0 {
+				count = 1
+			}
+			var err error
+			idxs, err = p.ShardIndices(*f.shardIndex, count)
+			if err != nil {
+				fatalf("%v", err)
+			}
 		}
 		deleted, err := campaign.DeleteFailed(p, dirs[0], idxs)
 		if err != nil {
@@ -248,14 +276,22 @@ func runShard(name string, args []string, retry bool) {
 		memoDir = filepath.Join(dirs[0], "memo")
 	}
 	opts := campaign.RunOptions{
-		ShardIndex:   *f.shardIndex,
-		ShardCount:   *f.shardCount,
-		Workers:      *f.workers,
-		LearnFrom:    *f.learnFrom,
-		Memo:         *f.memo,
-		MemoDir:      memoDir,
-		MemoMaxBytes: *f.memoMax,
-		Trace:        *f.trace,
+		ShardIndex:     *f.shardIndex,
+		ShardCount:     *f.shardCount,
+		Workers:        *f.workers,
+		LearnFrom:      *f.learnFrom,
+		Memo:           *f.memo,
+		MemoDir:        memoDir,
+		MemoMaxBytes:   *f.memoMax,
+		Trace:          *f.trace,
+		Steal:          *f.steal,
+		Owner:          *f.owner,
+		Lease:          *f.lease,
+		Budget:         *f.budget,
+		SolverOverride: *f.solverOver,
+	}
+	if *f.timesFrom != "" {
+		opts.TimesFrom = strings.Split(*f.timesFrom, ",")
 	}
 	if !*f.quiet {
 		opts.Log = os.Stderr
@@ -264,9 +300,18 @@ func runShard(name string, args []string, retry bool) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "campaign: shard %d/%d: %d cases, %d resumed, %d run, %d failed\n",
-		*f.shardIndex, *f.shardCount, report.ShardCases, report.Skipped, report.Ran, report.Failed)
-	if report.Failed > 0 {
+	if *f.steal {
+		fmt.Fprintf(os.Stderr, "campaign: steal: %d cases, %d already done, %d run (%d stolen), %d failed, %d remaining\n",
+			report.ShardCases, report.Skipped, report.Ran, report.Stolen, report.Failed, report.Remaining)
+	} else {
+		fmt.Fprintf(os.Stderr, "campaign: shard %d/%d: %d cases, %d resumed, %d run, %d failed\n",
+			*f.shardIndex, *f.shardCount, report.ShardCases, report.Skipped, report.Ran, report.Failed)
+	}
+	switch {
+	case report.BudgetStopped:
+		fmt.Fprintf(os.Stderr, "campaign: budget exhausted with %d case(s) remaining; re-run to resume\n", report.Remaining)
+		os.Exit(4)
+	case report.Failed > 0:
 		os.Exit(2)
 	}
 }
@@ -281,6 +326,7 @@ func cmdMerge(args []string) {
 	fs := flag.NewFlagSet("campaign merge", flag.ExitOnError)
 	dir, artifacts := dirFlags(fs)
 	allowPartial := fs.Bool("allow-partial", false, "render even if some cases have no artifact yet")
+	rescore := fs.Bool("rescore", false, "recompute Solved/Equivalent verdicts from each artifact's persisted key shortlist (planted-key membership, then the equivalence miter) and rewrite changed artifacts before rendering — no attack re-runs")
 	statsOut := fs.String("stats-out", "", "portfolio-stats JSON path (default DIR/portfolio_stats.json; \"-\" disables)")
 	traces := fs.String("traces", "", "per-shard trace files (comma-separated paths or globs); prints one merged tracestat view on stderr")
 	fs.Parse(args)
@@ -292,6 +338,14 @@ func cmdMerge(args []string) {
 	if !m.Complete() && !*allowPartial {
 		fatalf("campaign incomplete: %d/%d cases have no artifact (first: %s); finish the shards or pass -allow-partial",
 			len(m.Missing), len(p.Cases), m.Missing[0])
+	}
+	if *rescore {
+		rep, err := m.Rescore(context.Background())
+		if err != nil {
+			fatalf("rescore: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "campaign: rescore: %d artifact(s) scanned, %d outcome(s) re-scored, %d changed, %d miter key(s)\n",
+			rep.Scanned, rep.Rescored, rep.Changed, rep.Miters)
 	}
 	if err := m.Render(os.Stdout); err != nil {
 		fatalf("%v", err)

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 )
@@ -24,6 +25,10 @@ type Artifact struct {
 	Fig6     *exp.Fig6CaseResult `json:"fig6,omitempty"`
 	Table1   *exp.Table1Row      `json:"table1,omitempty"`
 	Error    string              `json:"error,omitempty"`
+
+	// path records where ReadArtifact loaded the artifact from, so a
+	// merge re-score can rewrite a changed artifact in place.
+	path string
 }
 
 // Failed reports whether the case ran but produced no usable
@@ -124,7 +129,23 @@ func ReadArtifact(path string) (*Artifact, error) {
 	if a.CaseID == "" {
 		return nil, fmt.Errorf("campaign: artifact %s has no case ID", path)
 	}
+	a.path = path
 	return &a, nil
+}
+
+// WallTime returns the attack wall time the artifact records — the
+// currency of the dispatch cost model (ObservedTimes feeds it back as
+// measured steal order). Table-only and failed artifacts report zero.
+func (a *Artifact) WallTime() time.Duration {
+	switch {
+	case a.Error != "":
+		return 0
+	case a.Outcome != nil:
+		return a.Outcome.Time
+	case a.Fig6 != nil:
+		return a.Fig6.KCElapsed + a.Fig6.SA.Time
+	}
+	return 0
 }
 
 // ReadArtifacts scans every *.json artifact in dirs and returns them

@@ -22,6 +22,19 @@
 // (temp-file + rename, so a killed shard leaves only complete
 // artifacts), and every artifact embeds the plan hash so stale or
 // foreign results are rejected instead of silently merged.
+//
+// Index-modulo is static: a heterogeneous or preemptible fleet is
+// paced by its slowest shard. RunOptions.Steal replaces it with
+// claim-file work stealing (steal.go): workers claim cases one at a
+// time via O_EXCL claim files in the shared artifact directory,
+// heartbeat them while working, and steal claims whose lease expired —
+// so the fleet drains the plan at the speed of the sum of its members,
+// dead workers cost at most one lease, and the merge stays
+// byte-identical to a monolithic run. RunOptions.Budget bounds a
+// worker's wall clock (stop claiming, finish in flight, report
+// BudgetStopped for a later resume), and MergeResult.Rescore replays
+// verdict scoring from the key shortlists artifacts persist — scoring
+// rules can change after the fact without re-running any attack.
 package campaign
 
 import (

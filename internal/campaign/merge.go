@@ -1,9 +1,14 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/sat"
@@ -174,12 +179,32 @@ type SuiteStatus struct {
 	Failed int
 }
 
+// WorkerClaim is one live (or expired) claim file observed in an
+// artifact directory: the fleet's in-flight work, as `campaign status`
+// shows it.
+type WorkerClaim struct {
+	Owner string
+	Case  string
+	// Age is how long ago the claim was last heartbeated. Stale means
+	// Age exceeds the default lease: the owner is presumed dead and the
+	// case will be re-stolen by the next scanning worker.
+	Age   time.Duration
+	Stale bool
+}
+
 // StatusReport is the progress of a whole campaign.
 type StatusReport struct {
 	Total, Done, Failed int
 	Suites              []SuiteStatus
 	// MissingSample lists up to 10 unfinished case IDs in plan order.
 	MissingSample []string
+	// Claims lists in-flight claim files for still-pending cases, by
+	// owner then case — the fleet's live workers (stealing mode).
+	Claims []WorkerClaim
+	// BudgetStopped lists workers that ran out of wall-clock budget
+	// with cases remaining — distinct from failures: their cases are
+	// healthy and a resumed run finishes them.
+	BudgetStopped []BudgetStop
 }
 
 // Complete reports whether every planned case has an artifact.
@@ -217,7 +242,67 @@ func Status(plan *Plan, dirs []string) (*StatusReport, error) {
 			ss.Failed++
 		}
 	}
+	s.scanFleet(arts, dirs)
 	return s, nil
+}
+
+// scanFleet collects claim files and budget markers from the artifact
+// directories: the live (and dead) workers of a stealing fleet, and the
+// shards that stopped on an exhausted wall-clock budget. Both are
+// advisory displays, so unreadable files are skipped, and claims whose
+// case already has an artifact are litter from a worker that died after
+// persisting — not in-flight work — and are not shown.
+func (s *StatusReport) scanFleet(arts map[string]*Artifact, dirs []string) {
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, ent := range entries {
+			name := ent.Name()
+			switch {
+			case ent.IsDir():
+			case strings.HasSuffix(name, ClaimSuffix):
+				info, mtime, err := ReadClaim(filepath.Join(dir, name))
+				if err != nil {
+					continue
+				}
+				caseID := info.Case
+				if caseID == "" {
+					// Derive from the file name (claim body is advisory
+					// and may be half-written).
+					base := strings.TrimSuffix(strings.TrimSuffix(name, ClaimSuffix), ".json")
+					caseID = strings.ReplaceAll(base, "__", "/")
+				}
+				if _, done := arts[caseID]; done {
+					continue
+				}
+				age := time.Since(mtime)
+				s.Claims = append(s.Claims, WorkerClaim{
+					Owner: info.Owner, Case: caseID, Age: age, Stale: age > DefaultLease,
+				})
+			case strings.HasPrefix(name, budgetMarkerPrefix) && strings.HasSuffix(name, ".json"):
+				data, err := os.ReadFile(filepath.Join(dir, name))
+				if err != nil {
+					continue
+				}
+				var b BudgetStop
+				if json.Unmarshal(data, &b) != nil {
+					continue
+				}
+				s.BudgetStopped = append(s.BudgetStopped, b)
+			}
+		}
+	}
+	sort.Slice(s.Claims, func(a, b int) bool {
+		if s.Claims[a].Owner != s.Claims[b].Owner {
+			return s.Claims[a].Owner < s.Claims[b].Owner
+		}
+		return s.Claims[a].Case < s.Claims[b].Case
+	})
+	sort.Slice(s.BudgetStopped, func(a, b int) bool {
+		return s.BudgetStopped[a].Owner < s.BudgetStopped[b].Owner
+	})
 }
 
 // Render writes the status as a small table.
@@ -229,5 +314,21 @@ func (s *StatusReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "%-10s %6d %6d %6d\n", "all", s.Done, s.Total, s.Failed)
 	for _, id := range s.MissingSample {
 		fmt.Fprintf(w, "  pending: %s\n", id)
+	}
+	for _, c := range s.Claims {
+		owner := c.Owner
+		if owner == "" {
+			owner = "(unknown)"
+		}
+		if c.Stale {
+			fmt.Fprintf(w, "  worker %s: claim on %s stale (%s ago — lease expired, will be re-stolen)\n",
+				owner, c.Case, c.Age.Round(time.Second))
+		} else {
+			fmt.Fprintf(w, "  worker %s: running %s (%s)\n", owner, c.Case, c.Age.Round(time.Second))
+		}
+	}
+	for _, b := range s.BudgetStopped {
+		fmt.Fprintf(w, "  budget-stopped %s: %d case(s) remaining (stopped %s)\n",
+			b.Owner, b.Remaining, b.Stopped.Format("2006-01-02 15:04:05"))
 	}
 }

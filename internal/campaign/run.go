@@ -10,12 +10,20 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/sat"
 )
+
+// caseNeed identifies one locked instance a shard must build: spec
+// index plus hardness level (the pure inputs of exp.BuildCase).
+type caseNeed struct {
+	specIdx int
+	level   exp.HLevel
+}
 
 // RunOptions tunes a shard execution.
 type RunOptions struct {
@@ -53,6 +61,41 @@ type RunOptions struct {
 	// shard finishes). Per-shard trace files merge in `campaign merge
 	// -traces` and cmd/tracestat.
 	Trace string
+	// Steal switches from index-modulo sharding to claim-file work
+	// stealing: every worker draws from the whole plan, claiming each
+	// case via an O_EXCL claim file next to its artifact path, so any
+	// number of heterogeneous processes pointed at one shared artifact
+	// directory drain the plan cooperatively. Incompatible with
+	// ShardCount > 1 (stealing replaces index-modulo).
+	Steal bool
+	// Owner identifies this worker in claim files, progress lines and
+	// budget markers; empty means DefaultOwner() (host-pid).
+	Owner string
+	// Lease is the claim staleness horizon for stealing: a claim not
+	// heartbeated for this long is treated as abandoned by a dead
+	// worker and re-stolen. <= 0 means DefaultLease.
+	Lease time.Duration
+	// Budget, when > 0, is the run's wall-clock budget: once it
+	// elapses the run stops starting (or claiming) new cases, lets
+	// in-flight ones finish, and reports BudgetStopped — the remaining
+	// cases are healthy, just unstarted, and a resumed run completes
+	// them. cmd/campaign maps BudgetStopped to exit code 4 so CI can
+	// requeue a continuation.
+	Budget time.Duration
+	// TimesFrom lists artifact directories of prior runs whose
+	// recorded per-case wall times (ObservedTimes) refine the dispatch
+	// cost model: observed cases are scheduled by measurement,
+	// longest first, and unmeasured ones by the calibrated model
+	// (exp.DispatchOrderObserved). Scheduling only — verdicts are
+	// unaffected.
+	TimesFrom []string
+	// SolverOverride replaces the plan's solver engine spec for this
+	// worker only — runtime configuration, not part of the plan hash.
+	// It is how a heterogeneous fleet maps workers to their hardware
+	// (and how the fleet benchmark simulates a slow machine with the
+	// sleeping stub solver). The override must be verdict-equivalent
+	// to the plan's engine; artifacts record the setup actually used.
+	SolverOverride string
 
 	// afterArtifact is a test seam invoked after each artifact lands on
 	// disk (used to kill a shard deterministically mid-flight).
@@ -70,6 +113,15 @@ type RunReport struct {
 	// Failed counts shard cases whose artifact (pre-existing or fresh)
 	// records a failure.
 	Failed int
+	// Stolen counts cases this run took over from an expired lease
+	// (stealing only).
+	Stolen int
+	// Remaining counts cases still without an artifact when the run
+	// returned — nonzero only for budget-stopped (or gated) runs.
+	Remaining int
+	// BudgetStopped reports the run stopped claiming work because its
+	// wall-clock budget expired while cases remained.
+	BudgetStopped bool
 }
 
 // Run executes one shard of the plan, writing one artifact per
@@ -88,6 +140,12 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.Steal && opts.ShardCount > 1 {
+		return nil, errors.New("campaign: -steal replaces index-modulo sharding; run stealing workers with shards=1 and a shared artifact dir")
+	}
+	if opts.Owner == "" {
+		opts.Owner = DefaultOwner()
+	}
 	idxs, err := plan.ShardIndices(opts.ShardIndex, opts.ShardCount)
 	if err != nil {
 		return nil, err
@@ -95,7 +153,13 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 	if err := os.MkdirAll(artifactDir, 0o755); err != nil {
 		return nil, err
 	}
-	expCfg, err := plan.Config.ExpConfig()
+	planCfg := plan.Config
+	if opts.SolverOverride != "" {
+		planCfg.Solver = opts.SolverOverride
+		planCfg.Portfolio = 0
+		planCfg.PortfolioEngines = ""
+	}
+	expCfg, err := planCfg.ExpConfig()
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +211,25 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 			}
 		}()
 	}
+	if len(opts.TimesFrom) > 0 {
+		expCfg.Observed = ObservedTimes(opts.TimesFrom)
+	}
+	var deadline time.Time
+	if opts.Budget > 0 {
+		deadline = time.Now().Add(opts.Budget)
+	}
+	budgetExceeded := func() bool {
+		return opts.Budget > 0 && !time.Now().Before(deadline)
+	}
+
+	if opts.Steal {
+		return runSteal(ctx, plan, artifactDir, opts, expCfg, deadline)
+	}
+	if opts.Budget > 0 {
+		// The harness gate refuses to start new units past the
+		// deadline; in-flight units finish and persist normally.
+		expCfg.Gate = func(exp.Unit) bool { return !budgetExceeded() }
+	}
 
 	report := &RunReport{ShardCases: len(idxs)}
 	var todo []int
@@ -172,14 +255,11 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 		}
 	}
 	if len(todo) == 0 {
+		removeBudgetMarker(artifactDir, opts.Owner)
 		return report, ctx.Err()
 	}
 
 	units := make([]exp.Unit, len(todo))
-	type caseNeed struct {
-		specIdx int
-		level   exp.HLevel
-	}
 	need := map[caseNeed]bool{}
 	for j, i := range todo {
 		u, err := plan.Cases[i].Unit()
@@ -267,17 +347,37 @@ func Run(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions) (
 		return report, writeErr
 	}
 	if expCfg.Memo != nil && opts.Log != nil {
-		st := expCfg.Memo.Stats()
-		fmt.Fprintf(opts.Log, "campaign: memo: %d hits / %d misses (%d entries)\n",
-			st.Hits, st.Misses, expCfg.Memo.Len())
-		if disk := expCfg.Memo.Disk(); disk != nil {
-			ds := disk.Stats()
-			fmt.Fprintf(opts.Log,
-				"campaign: memo disk: %d hits / %d misses, %d records / %d bytes (%d writes, %d evicted, %d corrupt)\n",
-				ds.Hits, ds.Misses, ds.Entries, ds.Bytes, ds.Writes, ds.Evictions, ds.Corrupt)
+		logMemoStats(opts.Log, expCfg.Memo)
+	}
+	if ctx.Err() == nil {
+		// Cases neither resumed nor persisted were gated out by the
+		// budget (the only skip path once the context survived).
+		report.Remaining = report.ShardCases - report.Skipped - report.Ran
+		switch {
+		case report.Remaining == 0:
+			removeBudgetMarker(artifactDir, opts.Owner)
+		case budgetExceeded():
+			report.BudgetStopped = true
+			if err := writeBudgetMarker(artifactDir, opts.Owner, report.Remaining); err != nil && opts.Log != nil {
+				fmt.Fprintf(opts.Log, "campaign: budget marker: %v\n", err)
+			}
 		}
 	}
 	return report, ctx.Err()
+}
+
+// logMemoStats prints the shard's memo hit/miss counters (and the disk
+// tier's, when attached) to the progress log.
+func logMemoStats(w io.Writer, memo *sat.Memo) {
+	st := memo.Stats()
+	fmt.Fprintf(w, "campaign: memo: %d hits / %d misses (%d entries)\n",
+		st.Hits, st.Misses, memo.Len())
+	if disk := memo.Disk(); disk != nil {
+		ds := disk.Stats()
+		fmt.Fprintf(w,
+			"campaign: memo disk: %d hits / %d misses, %d records / %d bytes (%d writes, %d evicted, %d corrupt)\n",
+			ds.Hits, ds.Misses, ds.Entries, ds.Bytes, ds.Writes, ds.Evictions, ds.Corrupt)
+	}
 }
 
 // DeleteFailed removes every artifact under dir that records a failure

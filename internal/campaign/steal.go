@@ -1,0 +1,596 @@
+package campaign
+
+// Claim-file work stealing: any number of workers — goroutines, processes,
+// machines — drain one plan from a shared artifact directory at the speed
+// of the sum of the fleet instead of the slowest shard. A worker claims
+// the next unowned case by creating an O_EXCL claim file next to the
+// case's artifact path, runs the case, writes the artifact (the usual
+// atomic temp+rename), and releases the claim. Liveness is the claim
+// file's mtime: owners heartbeat it while they work, so a claim whose
+// mtime is older than the lease belongs to a dead (or hopelessly wedged)
+// worker and is stolen — renamed away atomically, then re-created by
+// exactly one thief. A killed worker therefore costs the fleet at most
+// one lease of latency on the case it held, never a lost or duplicate
+// artifact.
+//
+// The one theoretical race — a thief re-stats a claim as stale in the
+// microseconds before another thief steals, releases and re-claims it —
+// can at worst run a case twice. Cases are deterministic and artifact
+// writes are atomic, so even that collision converges to one complete,
+// correct artifact; the lease (minutes) dwarfs the window (microseconds).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/genbench"
+)
+
+// ClaimSuffix is appended to an artifact path to form its claim path.
+const ClaimSuffix = ".claim"
+
+// DefaultLease is the default claim staleness horizon: a claim not
+// heartbeated for this long is considered abandoned and re-stolen. It
+// must comfortably exceed the heartbeat interval (lease/4) under
+// scheduling jitter, and it bounds how long a dead worker delays its
+// case.
+const DefaultLease = 2 * time.Minute
+
+// ClaimPath returns the claim-file path guarding a case's artifact.
+func ClaimPath(dir, caseID string) string {
+	return ArtifactPath(dir, caseID) + ClaimSuffix
+}
+
+// ClaimInfo is the advisory JSON body of a claim file: who holds the
+// case, since when. Ownership itself is the file's existence (the
+// O_EXCL create); the body only feeds `campaign status` displays, so a
+// reader catching it half-written merely shows an unknown owner.
+type ClaimInfo struct {
+	Owner string    `json:"owner"`
+	PID   int       `json:"pid,omitempty"`
+	Case  string    `json:"case_id,omitempty"`
+	Start time.Time `json:"start"`
+}
+
+// Claim is a held claim file. Release it exactly once when the case's
+// artifact is on disk (or the work is abandoned); a worker that dies
+// without releasing is covered by lease expiry.
+type Claim struct {
+	path string
+	// Stolen reports the claim was taken over from an expired lease
+	// rather than created fresh.
+	Stolen bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// TryClaim attempts to acquire the claim file at path. It returns the
+// held claim, or nil when another live worker owns the case (not an
+// error — the caller moves on to the next case). A claim whose mtime
+// is older than lease is stolen: renamed away atomically so exactly one
+// thief wins, then re-created with O_EXCL. lease <= 0 means
+// DefaultLease. The returned claim heartbeats its mtime every lease/4
+// until released.
+func TryClaim(path string, info ClaimInfo, lease time.Duration) (*Claim, error) {
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	stolen := false
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if errors.Is(err, fs.ErrExist) {
+		st, serr := os.Stat(path)
+		switch {
+		case errors.Is(serr, fs.ErrNotExist):
+			// Released between create and stat; the caller's next scan
+			// pass (or another worker) gets the case.
+			return nil, nil
+		case serr != nil:
+			return nil, serr
+		case time.Since(st.ModTime()) <= lease:
+			return nil, nil // a live owner is heartbeating it
+		}
+		// Stale: steal by renaming the specific file away. Rename is
+		// atomic — exactly one thief wins — and unlike a direct unlink
+		// it can never delete a fresh claim re-created at the same path
+		// after this one was released.
+		tomb, terr := os.CreateTemp(filepath.Dir(path), ".stale-*")
+		if terr != nil {
+			return nil, terr
+		}
+		tombName := tomb.Name()
+		tomb.Close()
+		if rerr := os.Rename(path, tombName); rerr != nil {
+			os.Remove(tombName)
+			if errors.Is(rerr, fs.ErrNotExist) {
+				return nil, nil // another thief (or a release) got there first
+			}
+			return nil, rerr
+		}
+		os.Remove(tombName)
+		stolen = true
+		f, err = os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if errors.Is(err, fs.ErrExist) {
+			return nil, nil // lost the post-steal race to another claimant
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if info.Start.IsZero() {
+		info.Start = time.Now()
+	}
+	if info.PID == 0 {
+		info.PID = os.Getpid()
+	}
+	if data, merr := json.Marshal(info); merr == nil {
+		f.Write(data)
+	}
+	f.Close()
+	c := &Claim{path: path, Stolen: stolen, stop: make(chan struct{})}
+	c.wg.Add(1)
+	go c.heartbeat(lease / 4)
+	return c, nil
+}
+
+// heartbeat refreshes the claim's mtime until Release. Refresh errors
+// are ignored: the worst case is the lease expiring under a live worker
+// and the case being run twice, which converges (deterministic work,
+// atomic artifact writes).
+func (c *Claim) heartbeat(interval time.Duration) {
+	defer c.wg.Done()
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			now := time.Now()
+			os.Chtimes(c.path, now, now)
+		}
+	}
+}
+
+// Release stops the heartbeat and removes the claim file. Idempotent.
+func (c *Claim) Release() {
+	c.once.Do(func() {
+		close(c.stop)
+		c.wg.Wait()
+		os.Remove(c.path)
+	})
+}
+
+// ReadClaim loads a claim file's advisory info and its mtime (the
+// liveness signal `campaign status` ages against the lease).
+func ReadClaim(path string) (ClaimInfo, time.Time, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return ClaimInfo{}, time.Time{}, err
+	}
+	var info ClaimInfo
+	if data, rerr := os.ReadFile(path); rerr == nil {
+		json.Unmarshal(data, &info) // advisory: garbage just shows no owner
+	}
+	return info, st.ModTime(), nil
+}
+
+// DefaultOwner is the default worker identity used in claim files,
+// progress lines and budget markers: host-pid.
+func DefaultOwner() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// sanitizeOwner maps a worker identity to a file-name-safe token.
+func sanitizeOwner(owner string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, owner)
+}
+
+// budgetMarkerPrefix names the dot-files recording budget-exhausted
+// workers (dot prefix: artifact scans skip them).
+const budgetMarkerPrefix = ".budget-"
+
+// BudgetStop records one worker that stopped claiming work because its
+// wall-clock budget expired — distinct from a failure: the remaining
+// cases are healthy, just unstarted, and a resumed run finishes them.
+type BudgetStop struct {
+	Owner     string    `json:"owner"`
+	Stopped   time.Time `json:"stopped"`
+	Remaining int       `json:"remaining"`
+}
+
+func writeBudgetMarker(dir, owner string, remaining int) error {
+	data, err := json.MarshalIndent(BudgetStop{Owner: owner, Stopped: time.Now(), Remaining: remaining}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(dir, budgetMarkerPrefix+sanitizeOwner(owner)+".json", append(data, '\n'))
+}
+
+func removeBudgetMarker(dir, owner string) {
+	os.Remove(filepath.Join(dir, budgetMarkerPrefix+sanitizeOwner(owner)+".json"))
+}
+
+// clearBudgetMarkers removes every budget marker in dir — called when a
+// run drains the plan completely, so stale "stopped early" reports do
+// not outlive the work they described.
+func clearBudgetMarkers(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		if name := ent.Name(); strings.HasPrefix(name, budgetMarkerPrefix) && strings.HasSuffix(name, ".json") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// ObservedTimes harvests per-case attack wall times from artifact
+// directories of prior runs, keyed by case ID — the measured feed for
+// longest-observed-first dispatch and steal order (RunOptions.TimesFrom,
+// exp.DispatchOrderObserved). It is deliberately lenient: unreadable or
+// foreign-plan artifacts contribute nothing and raise no error, because
+// observed times steer only scheduling, never verdicts. When a case
+// appears in several directories the longest observation wins (the
+// conservative estimate for tail-latency purposes).
+func ObservedTimes(dirs []string) map[string]time.Duration {
+	times := map[string]time.Duration{}
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, ent := range entries {
+			name := ent.Name()
+			if ent.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			a, err := ReadArtifact(filepath.Join(dir, name))
+			if err != nil {
+				continue
+			}
+			if d := a.WallTime(); d > 0 {
+				if prev, ok := times[a.CaseID]; !ok || d > prev {
+					times[a.CaseID] = d
+				}
+			}
+		}
+	}
+	return times
+}
+
+// stealState is the shared bookkeeping of one process's stealing
+// workers: which plan cases are verified complete on disk, plus the
+// report tallies.
+type stealState struct {
+	plan   *Plan
+	dir    string
+	owner  string
+	lease  time.Duration
+	order  []int
+	units  []exp.Unit
+	expCfg exp.Config
+	opts   RunOptions
+
+	mu     sync.Mutex
+	done   []bool
+	failed []bool // failure recorded per done case (counted once)
+	report *RunReport
+
+	buildMu sync.Mutex
+	builds  map[caseNeed]*buildEntry
+}
+
+type buildEntry struct {
+	once sync.Once
+	cs   *exp.Case
+	err  error
+}
+
+// buildCase builds (once per process, concurrently safe) the locked
+// instance a case needs — generation and locking are pure functions of
+// the derived seed, so every worker that builds the same instance gets
+// the same circuit.
+func (s *stealState) buildCase(n caseNeed) (*exp.Case, error) {
+	s.buildMu.Lock()
+	e, ok := s.builds[n]
+	if !ok {
+		e = &buildEntry{}
+		s.builds[n] = e
+	}
+	s.buildMu.Unlock()
+	e.once.Do(func() {
+		spec := s.plan.Config.Specs[n.specIdx]
+		e.cs, e.err = exp.BuildCase(spec, n.level, s.plan.Config.Seed+int64(n.specIdx)*1009)
+	})
+	return e.cs, e.err
+}
+
+// markDone records a case as complete on disk.
+func (s *stealState) markDone(i int, failed, ran, stolen bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done[i] {
+		return
+	}
+	s.done[i] = true
+	s.failed[i] = failed
+	if failed {
+		s.report.Failed++
+	}
+	if ran {
+		s.report.Ran++
+		if stolen {
+			s.report.Stolen++
+		}
+	} else {
+		s.report.Skipped++
+	}
+}
+
+func (s *stealState) isDone(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done[i]
+}
+
+// claimNext scans the steal order for the first case that is neither
+// complete on disk nor claimed by a live worker and claims it. It
+// returns (-1, nil, remains) when nothing was claimable: remains
+// distinguishes "the plan is drained" (false) from "every open case is
+// claimed by someone else — poll and retry" (true).
+func (s *stealState) claimNext() (int, *Claim, bool, error) {
+	remains := false
+	for _, i := range s.order {
+		if s.isDone(i) {
+			continue
+		}
+		id := s.plan.Cases[i].ID
+		apath := ArtifactPath(s.dir, id)
+		a, err := ReadArtifact(apath)
+		switch {
+		case err == nil:
+			if a.PlanHash != s.plan.Hash {
+				return -1, nil, false, fmt.Errorf("campaign: existing artifact %s belongs to plan %.12s…, this plan is %.12s… (stale artifact directory?)", apath, a.PlanHash, s.plan.Hash)
+			}
+			if a.CaseID != id {
+				return -1, nil, false, fmt.Errorf("campaign: artifact %s names case %s, want %s", apath, a.CaseID, id)
+			}
+			s.markDone(i, a.Failed(), false, false)
+			// Reap a claim left by a worker that died between writing
+			// the artifact and releasing. Stale only: a live owner is
+			// about to remove it itself, and no one re-claims a case
+			// whose artifact exists, so a stale leftover is pure litter.
+			if st, serr := os.Stat(ClaimPath(s.dir, id)); serr == nil && time.Since(st.ModTime()) > s.lease {
+				os.Remove(ClaimPath(s.dir, id))
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			remains = true
+			c, cerr := TryClaim(ClaimPath(s.dir, id), ClaimInfo{Owner: s.owner, Case: id}, s.lease)
+			if cerr != nil {
+				return -1, nil, false, cerr
+			}
+			if c != nil {
+				return i, c, true, nil
+			}
+		default:
+			return -1, nil, false, fmt.Errorf("campaign: unreadable artifact %s: %w (delete it to recompute the case)", apath, err)
+		}
+	}
+	return -1, nil, remains, nil
+}
+
+// runOne executes one claimed case end to end and releases the claim.
+// The claim is released on every path: with an artifact written the
+// case is done, without one (cancellation, write failure) the release
+// hands the case straight back to the fleet.
+func (s *stealState) runOne(ctx context.Context, i int, claim *Claim) error {
+	defer claim.Release()
+	pc := s.plan.Cases[i]
+	u := s.units[i]
+	var needs []caseNeed
+	if u.Kind == exp.UnitTable1 {
+		for _, level := range exp.Levels {
+			needs = append(needs, caseNeed{pc.SpecIdx, level})
+		}
+	} else {
+		needs = append(needs, caseNeed{pc.SpecIdx, u.Level})
+	}
+	cases := make([]*exp.Case, len(needs))
+	for j, n := range needs {
+		cs, err := s.buildCase(n)
+		if err != nil {
+			return fmt.Errorf("campaign: build suite: %w", err)
+		}
+		cases[j] = cs
+	}
+	results, err := exp.RunUnits(ctx, cases, []exp.Unit{u}, s.expCfg, nil)
+	if err != nil {
+		return err
+	}
+	// A cancelled context means the unit was cut short: its truncated
+	// verdict must not be persisted (the released claim lets any worker
+	// recompute it).
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	a := newArtifact(s.plan.Hash, pc, results[0])
+	if err := WriteArtifact(s.dir, a); err != nil {
+		return err
+	}
+	s.markDone(i, a.Failed(), true, claim.Stolen)
+	if s.opts.Log != nil {
+		status := "ok"
+		if a.Failed() {
+			status = "FAILED"
+		}
+		if claim.Stolen {
+			status += " (stolen)"
+		}
+		fmt.Fprintf(s.opts.Log, "campaign: %s: %s %s\n", s.owner, pc.ID, status)
+	}
+	if s.opts.afterArtifact != nil {
+		s.opts.afterArtifact(pc.ID)
+	}
+	return nil
+}
+
+// runSteal drains the plan by claim-file work stealing on
+// opts.Workers goroutines. It returns when the whole plan is complete
+// on disk (drained by this process and any concurrent peers), the
+// wall-clock budget expires, or the context dies — never because open
+// cases happen to be claimed elsewhere: a peer may die, and then this
+// process steals its lease and finishes the case.
+func runSteal(ctx context.Context, plan *Plan, artifactDir string, opts RunOptions, expCfg exp.Config, deadline time.Time) (*RunReport, error) {
+	units := make([]exp.Unit, len(plan.Cases))
+	specs := make(map[string]genbench.Spec, len(plan.Config.Specs))
+	for i, pc := range plan.Cases {
+		u, err := pc.Unit()
+		if err != nil {
+			return &RunReport{ShardCases: len(plan.Cases)}, err
+		}
+		units[i] = u
+		specs[pc.Circuit] = plan.Config.Specs[pc.SpecIdx]
+	}
+	lease := opts.Lease
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	owner := opts.Owner
+	if owner == "" {
+		owner = DefaultOwner()
+	}
+	s := &stealState{
+		plan:  plan,
+		dir:   artifactDir,
+		owner: owner,
+		lease: lease,
+		// Steal order is the harness dispatch order — longest first, by
+		// observation where available — so the fleet fronts the heavy
+		// cases while there are still many hands free.
+		order:  exp.DispatchOrderObserved(units, specs, expCfg.Observed),
+		units:  units,
+		expCfg: expCfg,
+		opts:   opts,
+		done:   make([]bool, len(plan.Cases)),
+		failed: make([]bool, len(plan.Cases)),
+		report: &RunReport{ShardCases: len(plan.Cases)},
+		builds: map[caseNeed]*buildEntry{},
+	}
+	budgetExceeded := func() bool {
+		return opts.Budget > 0 && !time.Now().Before(deadline)
+	}
+	// Poll interval while every open case is claimed elsewhere: fast
+	// enough to pick freed work up promptly, slow enough not to hammer
+	// a shared filesystem.
+	poll := lease / 10
+	if poll < 25*time.Millisecond {
+		poll = 25 * time.Millisecond
+	}
+	if poll > 2*time.Second {
+		poll = 2 * time.Second
+	}
+
+	workers := opts.Workers
+	if workers > len(plan.Cases) {
+		workers = len(plan.Cases)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				if budgetExceeded() {
+					return
+				}
+				i, claim, remains, err := s.claimNext()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if claim == nil {
+					if !remains {
+						return // plan drained
+					}
+					select {
+					case <-ctx.Done():
+						errs[w] = ctx.Err()
+						return
+					case <-time.After(poll):
+					}
+					continue
+				}
+				if err := s.runOne(ctx, i, claim); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return s.report, err
+		}
+	}
+
+	// Remaining work is judged on disk, not in local memory: peers may
+	// have completed cases this process never scanned as done.
+	remaining := 0
+	for i := range plan.Cases {
+		if s.done[i] {
+			continue
+		}
+		if _, err := os.Stat(ArtifactPath(artifactDir, plan.Cases[i].ID)); err != nil {
+			remaining++
+		}
+	}
+	s.report.Remaining = remaining
+	switch {
+	case remaining == 0:
+		clearBudgetMarkers(artifactDir)
+	case budgetExceeded():
+		s.report.BudgetStopped = true
+		if err := writeBudgetMarker(artifactDir, owner, remaining); err != nil && opts.Log != nil {
+			fmt.Fprintf(opts.Log, "campaign: budget marker: %v\n", err)
+		}
+	}
+	if expCfg.Memo != nil && opts.Log != nil {
+		logMemoStats(opts.Log, expCfg.Memo)
+	}
+	return s.report, nil
+}

@@ -178,6 +178,18 @@ type Config struct {
 	// otherwise-default configs (verdicts unchanged; traces go to
 	// their own sink, never stdout). Never serialized.
 	Trace *obs.Span
+	// Observed carries measured wall times from prior runs keyed by
+	// Unit.ID() (campaign artifacts record them); RunUnits dispatches
+	// longest-observed-first instead of purely model-predicted
+	// (DispatchOrderObserved). Scheduling only — results and their order
+	// never depend on it. Never serialized.
+	Observed map[string]time.Duration
+	// Gate, when non-nil, is consulted immediately before each unit
+	// starts; returning false skips the unit entirely — zero UnitResult,
+	// no onDone callback — which is how campaign shards stop claiming
+	// new work when a wall-clock budget expires while in-flight units
+	// run to completion. Never serialized.
+	Gate func(Unit) bool
 }
 
 // ApplySolverFlags resolves the -solver/-portfolio flag grammar

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/fall"
 	"repro/internal/genbench"
@@ -214,11 +215,47 @@ func unitCost(u Unit, spec genbench.Spec) int64 {
 // latency: a long SAT attack started last would otherwise run alone
 // after every cheap analysis has drained.
 func DispatchOrder(units []Unit, specs map[string]genbench.Spec) []int {
+	return DispatchOrderObserved(units, specs, nil)
+}
+
+// DispatchOrderObserved is DispatchOrder with measured wall times from
+// prior runs (keyed by Unit.ID(), as campaign artifacts record them)
+// overriding the model's prediction: units that have actually been
+// timed sort by their observed duration, and units never seen fall back
+// to the model cost rescaled into observed time by the median
+// observed/predicted ratio — so a single calibration run turns the
+// whole order from model-predicted into longest-observed-first without
+// leaving unmeasured units stranded at either end. An empty or nil map
+// is exactly DispatchOrder.
+func DispatchOrderObserved(units []Unit, specs map[string]genbench.Spec, observed map[string]time.Duration) []int {
 	order := make([]int, len(units))
 	cost := make([]int64, len(units))
 	for i, u := range units {
 		order[i] = i
 		cost[i] = unitCost(u, specs[u.Circuit])
+	}
+	if len(observed) > 0 {
+		// Calibrate model cost into nanoseconds: the median ratio over
+		// units with both a prediction and a measurement is robust to a
+		// few pathological outliers (a timed-out case, a cache-warm one).
+		var ratios []float64
+		for i, u := range units {
+			if d, ok := observed[u.ID()]; ok && cost[i] > 0 && d > 0 {
+				ratios = append(ratios, float64(d)/float64(cost[i]))
+			}
+		}
+		scale := 1.0
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			scale = ratios[len(ratios)/2]
+		}
+		for i, u := range units {
+			if d, ok := observed[u.ID()]; ok && d > 0 {
+				cost[i] = int64(d)
+			} else {
+				cost[i] = int64(float64(cost[i]) * scale)
+			}
+		}
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		if cost[order[a]] != cost[order[b]] {
@@ -259,10 +296,19 @@ func RunUnits(ctx context.Context, cases []*Case, units []Unit, cfg Config, onDo
 			return nil, fmt.Errorf("exp: unit %s: no case for %s/%s", u.ID(), u.Circuit, u.Level.Token())
 		}
 	}
-	order := DispatchOrder(units, specs)
+	order := DispatchOrderObserved(units, specs, cfg.Observed)
 	results := make([]UnitResult, len(units))
 	forEachIndexed(cfg.workers(), len(units), func(j int) {
 		i := order[j]
+		// The gate is consulted at the moment a worker would start the
+		// unit — not at enqueue time — so a wall-clock budget stops
+		// exactly the units that had not begun when it expired. Gated
+		// units are skipped entirely: zero result, no onDone, so a
+		// campaign shard persists nothing for them and a resume
+		// recomputes exactly the unstarted remainder.
+		if cfg.Gate != nil && !cfg.Gate(units[i]) {
+			return
+		}
 		results[i] = runUnit(ctx, units[i], byKey, cfg)
 		if onDone != nil {
 			onDone(i, results[i])

@@ -1,0 +1,146 @@
+package server_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/sat/testsolver"
+	"repro/internal/server"
+)
+
+// Two daemons sharing one job store with -claim-lease must not run the
+// same job twice: the second daemon defers to the first's fresh claim
+// and, once the owner finishes, adopts the artifact from disk
+// byte-for-byte instead of re-solving.
+func TestPeerClaimNoDuplicateRun(t *testing.T) {
+	orig, locked := newTinyTTLockFixture(t)
+	dir := t.TempDir()
+	gate := filepath.Join(t.TempDir(), "slow-gate")
+	if err := os.WriteFile(gate, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// While the gate exists every solver query sleeps 2s — long enough
+	// for the peer to observe deferral, short enough that the in-flight
+	// query drains promptly once the gate lifts.
+	spec := gatedSolverSpec(t, gate, "2s")
+	lease := 400 * time.Millisecond
+
+	_, tsA := startDaemon(t, server.Config{Workers: 1, Dir: dir, ClaimLease: lease})
+	_, view := submit(t, tsA, "", server.JobSpec{Attack: "sat", Locked: locked, Oracle: orig, Seed: 5, Solver: spec})
+	waitState(t, tsA, view.ID, server.StateRunning, 30*time.Second)
+
+	// Daemon B on the same store recovers the job as pending work, but
+	// daemon A's claim is live (heartbeated), so B must defer, not run.
+	_, tsB := startDaemon(t, server.Config{Workers: 1, Dir: dir, ClaimLease: lease})
+	time.Sleep(4 * lease) // several defer/re-enqueue cycles
+	var bView server.JobView
+	getJSON(t, tsB, "/jobs/"+view.ID, &bView)
+	if bView.State.Terminal() || bView.State == server.StateRunning {
+		t.Fatalf("peer daemon reports %s while the owner still holds the claim", bView.State)
+	}
+
+	// Lift the gate: A's solve finishes and releases the claim. B's next
+	// claim attempt finds the terminal artifact and adopts it.
+	if err := os.Remove(gate); err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, tsA, view.ID, 60*time.Second)
+	if final.State != server.StateDone {
+		t.Fatalf("owner finished %s (error %q)", final.State, final.Error)
+	}
+	st, err := server.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerRaw, err := st.Raw(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adopted := waitTerminal(t, tsB, view.ID, 30*time.Second)
+	if adopted.State != server.StateDone {
+		t.Fatalf("peer adopted state %s, want done", adopted.State)
+	}
+	afterRaw, err := st.Raw(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ownerRaw) != string(afterRaw) {
+		t.Error("peer daemon rewrote the owner's artifact — the job ran twice")
+	}
+	if _, err := os.Stat(st.ClaimPath(view.ID)); !os.IsNotExist(err) {
+		t.Error("claim file survived job completion")
+	}
+}
+
+// gatedSolverSpec is slowSolverSpec with a configurable sleep: queries
+// launched while the gate file exists sleep for sleepFor, queries after
+// it is removed answer instantly.
+func gatedSolverSpec(t *testing.T, gate, sleepFor string) string {
+	t.Helper()
+	if runtime.GOOS == "windows" {
+		t.Skip("slow-solver wrapper is a shell script")
+	}
+	stub := testsolver.Build(t)
+	script := filepath.Join(t.TempDir(), "gatedstub")
+	body := "#!/bin/sh\nif [ -e " + gate + " ]; then exec " + stub + " -sleep=" + sleepFor + " \"$@\"; fi\nexec " + stub + " \"$@\"\n"
+	if err := os.WriteFile(script, []byte(body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return "process:cmd=" + script
+}
+
+// A daemon that died holding a claim must not wedge its job forever:
+// the claim's mtime stops advancing, the lease expires, and the next
+// daemon steals the claim and runs the job to completion.
+func TestStaleClaimTakeover(t *testing.T) {
+	orig, locked := newTinyTTLockFixture(t)
+	dir := t.TempDir()
+	gate := filepath.Join(t.TempDir(), "slow-gate")
+	if err := os.WriteFile(gate, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := slowSolverSpec(t, gate)
+
+	// Park a job mid-solve, then cancel it back to queued on disk — the
+	// store now holds real pending work.
+	srvA, tsA := startDaemon(t, server.Config{Workers: 1, Dir: dir})
+	_, view := submit(t, tsA, "", server.JobSpec{Attack: "sat", Locked: locked, Oracle: orig, Seed: 5, Solver: spec})
+	waitState(t, tsA, view.ID, server.StateRunning, 30*time.Second)
+	srvA.Drain(50 * time.Millisecond)
+
+	// The "dead daemon": a claim on that job whose heartbeat stopped an
+	// hour ago.
+	st, err := server.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpath := st.ClaimPath(view.ID)
+	data, _ := json.Marshal(campaign.ClaimInfo{Owner: "dead-daemon", Case: view.ID})
+	if err := os.WriteFile(cpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(cpath, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh claiming daemon steals the expired claim and finishes the
+	// job (the gate is gone, so the solve is instant).
+	if err := os.Remove(gate); err != nil {
+		t.Fatal(err)
+	}
+	_, tsB := startDaemon(t, server.Config{Workers: 1, Dir: dir, ClaimLease: time.Minute})
+	final := waitTerminal(t, tsB, view.ID, 60*time.Second)
+	if final.State != server.StateDone {
+		t.Fatalf("taken-over job finished %s (error %q)", final.State, final.Error)
+	}
+	if _, err := os.Stat(cpath); !os.IsNotExist(err) {
+		t.Error("stolen claim file survived job completion")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/obs"
 	"repro/internal/sat"
 )
@@ -57,6 +58,16 @@ type Config struct {
 	// capacity (oldest spans evicted), served as NDJSON from
 	// GET /jobs/{id}/trace. 0 disables per-job tracing.
 	TraceSpans int
+	// ClaimLease, when > 0, coordinates several daemons sharing one
+	// store directory with the campaign package's claim-file discipline:
+	// a worker claims <job>.json.claim (O_EXCL, mtime heartbeat) before
+	// running, skips jobs a live peer holds (re-checking after half a
+	// lease, when a dead peer's claim has had time to age), and adopts a
+	// peer's terminal result straight from disk. A claim not heartbeated
+	// for a full lease is stolen, so a killed daemon delays its jobs by
+	// at most one lease. 0 (the default) runs claimless — the
+	// single-daemon fast path, byte-identical behavior to before.
+	ClaimLease time.Duration
 	// Logger, when non-nil, receives structured log records: one per
 	// job transition and one per API request (method, path, tenant, job
 	// id, status, duration).
@@ -91,6 +102,7 @@ type Server struct {
 	queue   *queue
 	limiter *rateLimiter
 	started time.Time
+	owner   string // this daemon's identity in job claim files
 
 	reg          *obs.Registry  // Prometheus-text metrics, served at /metrics.prom
 	jobSeconds   *obs.Histogram // wall-clock of finished job runs
@@ -127,6 +139,7 @@ func New(cfg Config) (*Server, error) {
 		queue:   newQueue(cfg.QueueDepth, cfg.TenantConcurrency),
 		limiter: newRateLimiter(cfg.TenantRate, cfg.TenantBurst),
 		started: time.Now(),
+		owner:   campaign.DefaultOwner(),
 		jobs:    map[string]*Job{},
 		cancels: map[string]context.CancelFunc{},
 		events:  map[string][]Event{},
@@ -290,8 +303,34 @@ func (s *Server) unsubscribe(id string, ch chan Event) {
 // runJob executes one dequeued job end to end: transition to running,
 // resolve the spec, run the attack under the job's context, and
 // finalize — done/failed/cancelled, or back to queued when a graceful
-// drain cut the solve short.
+// drain cut the solve short. With Config.ClaimLease set the job is
+// first claimed against peer daemons sharing the store; the deferred
+// release covers every exit, including the drain-requeue path, so a
+// requeued job is immediately claimable by a peer.
 func (s *Server) runJob(id string) {
+	if s.cfg.ClaimLease > 0 {
+		claim, err := campaign.TryClaim(s.store.ClaimPath(id),
+			campaign.ClaimInfo{Owner: s.owner, Case: id}, s.cfg.ClaimLease)
+		switch {
+		case err != nil:
+			// Run unclaimed rather than wedge the queue: the worst case is
+			// duplicate work, and the store's atomic writes keep whichever
+			// terminal record lands last complete.
+			s.log().Error("claim job", "job", id, "err", err)
+		case claim == nil:
+			s.deferToPeer(id)
+			return
+		default:
+			// A peer may have finished the job while it sat in our queue
+			// (recovery re-enqueues whatever the shared store lists).
+			if disk, derr := s.store.Get(id); derr == nil && disk.State.Terminal() {
+				claim.Release()
+				s.adoptFromPeer(id, disk)
+				return
+			}
+			defer claim.Release()
+		}
+	}
 	s.mu.Lock()
 	j := s.jobs[id]
 	if j == nil || j.State != StateQueued || j.userCancel || s.drainNow {
@@ -408,6 +447,65 @@ func (s *Server) runJob(id string) {
 		}
 		s.finalizeLocked(j, StateDone, &rj, "", r.setup.WinStats(), recovered)
 	}
+}
+
+// deferToPeer handles a job a live peer daemon has claimed: adopt the
+// peer's terminal record if it already finished, otherwise check back
+// after half a lease — by then the peer has either finished (adopt) or
+// died (its claim aged past the lease and the retry claims the job).
+func (s *Server) deferToPeer(id string) {
+	if disk, err := s.store.Get(id); err == nil && disk.State.Terminal() {
+		s.adoptFromPeer(id, disk)
+		return
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	waiting := j != nil && j.State == StateQueued && !s.draining
+	s.mu.Unlock()
+	if !waiting {
+		return // cancelled, adopted meanwhile, or draining: leave it to disk recovery
+	}
+	s.log().Info("job claimed by peer, deferring", "job", id, "retry", s.cfg.ClaimLease/2)
+	time.AfterFunc(s.cfg.ClaimLease/2, func() {
+		s.mu.Lock()
+		j := s.jobs[id]
+		ok := j != nil && j.State == StateQueued && !s.draining
+		tenant := ""
+		if ok {
+			tenant = j.Tenant
+		}
+		s.mu.Unlock()
+		if !ok {
+			return
+		}
+		if err := s.queue.Enqueue(id, tenant); err != nil {
+			s.log().Error("re-enqueue peer-claimed job", "job", id, "err", err)
+		}
+	})
+}
+
+// adoptFromPeer installs a terminal job record a peer daemon persisted
+// to the shared store: the local copy becomes terminal without running
+// anything, subscribers get their terminal event, and the peer's win
+// statistics fold into this daemon's ledger exactly as a local finish
+// would have.
+func (s *Server) adoptFromPeer(id string, disk *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil || j.State.Terminal() {
+		return
+	}
+	*j = *disk
+	if disk.Result != nil {
+		s.stats = sat.MergeStats(s.stats, disk.PortfolioStats)
+	}
+	status := ""
+	if disk.Result != nil {
+		status = disk.Result.Status.String()
+	}
+	s.publishLocked(j, status, "adopted from peer daemon")
+	s.log().Info("job adopted from peer", "job", id, "state", string(disk.State))
 }
 
 // finalizeLocked moves a job to a terminal state, persists it, folds

@@ -34,6 +34,14 @@ func OpenStore(dir string) (*Store, error) {
 // Dir returns the store's directory.
 func (st *Store) Dir() string { return st.dir }
 
+// ClaimPath returns the claim-file path guarding a job — the same
+// O_EXCL + mtime-lease discipline as campaign work stealing, used when
+// several daemons share one store directory (Config.ClaimLease). Claim
+// files do not end in .json, so List and recovery never read them.
+func (st *Store) ClaimPath(id string) string {
+	return st.path(id) + campaign.ClaimSuffix
+}
+
 func (st *Store) path(id string) string {
 	return filepath.Join(st.dir, id+".json")
 }
